@@ -1,0 +1,285 @@
+package hcperf_test
+
+// Benchmark harness: one benchmark per table and figure of the HCPerf
+// evaluation (paper §VII), plus micro-benchmarks of the framework's hot
+// paths. Each table/figure benchmark regenerates the corresponding
+// experiment end to end and reports the headline quantity as a custom
+// metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Absolute driving-performance values
+// depend on the substrate (see EXPERIMENTS.md); the reported metrics make
+// the orderings visible directly in the benchmark output.
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/engine"
+	"hcperf/internal/exectime"
+	"hcperf/internal/experiment"
+	"hcperf/internal/hungarian"
+	"hcperf/internal/mfc"
+	"hcperf/internal/scenario"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Run(id, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Motivation regenerates the motivation experiment (Fig. 4):
+// the red-light scenario under Apollo scheduling, ending in a collision.
+func BenchmarkFig4Motivation(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5ToySchedule regenerates the Fig. 5 toy schedule comparison.
+func BenchmarkFig5ToySchedule(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig12ExecTimes regenerates the execution-time characterisation.
+func BenchmarkFig12ExecTimes(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13CarFollowing regenerates the car-following time series for
+// all five schemes (Fig. 13(a)-(d)).
+func BenchmarkFig13CarFollowing(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkTable2SpeedRMS regenerates Table II and reports each scheme's
+// RMS speed tracking error as a custom metric.
+func BenchmarkTable2SpeedRMS(b *testing.B) {
+	var results map[scenario.Scheme]*scenario.CarFollowingResult
+	for i := 0; i < b.N; i++ {
+		results = make(map[scenario.Scheme]*scenario.CarFollowingResult)
+		for _, s := range scenario.AllSchemes() {
+			r, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{Scheme: s, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[s] = r
+		}
+	}
+	for s, r := range results {
+		b.ReportMetric(r.SpeedErrRMS, "speedRMS_"+s.String())
+	}
+}
+
+// BenchmarkTable3DistanceRMS regenerates Table III.
+func BenchmarkTable3DistanceRMS(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig14LaneKeeping regenerates the lane-keeping offset series.
+func BenchmarkFig14LaneKeeping(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkTable4LateralRMS regenerates Table IV and reports each scheme's
+// RMS lateral offset as a custom metric.
+func BenchmarkTable4LateralRMS(b *testing.B) {
+	offsets := make(map[scenario.Scheme]float64)
+	for i := 0; i < b.N; i++ {
+		for _, s := range scenario.AllSchemes() {
+			r, err := scenario.RunLaneKeeping(scenario.LaneKeepingConfig{Scheme: s, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			offsets[s] = r.OffsetRMS
+		}
+	}
+	for s, v := range offsets {
+		b.ReportMetric(v*1000, "offsetRMSmm_"+s.String())
+	}
+}
+
+// BenchmarkFig15Hardware regenerates the hardware-testbed emulation series.
+func BenchmarkFig15Hardware(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkTable5HardwareSpeedRMS regenerates Table V.
+func BenchmarkTable5HardwareSpeedRMS(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6HardwareDistRMS regenerates Table VI.
+func BenchmarkTable6HardwareDistRMS(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkFig16DrivingProcess regenerates the jam driving-process overview.
+func BenchmarkFig16DrivingProcess(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17Responsiveness regenerates the traffic-jam study.
+func BenchmarkFig17Responsiveness(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkFig18Ablation regenerates the internal-vs-full ablation.
+func BenchmarkFig18Ablation(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkOverheadCoordinatorStep measures the coordinator's own per-step
+// cost (§VII-E) directly: one full car-following run per iteration, with
+// the mean wall-clock cost per coordination step reported as a metric.
+func BenchmarkOverheadCoordinatorStep(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{
+			Scheme: scenario.SchemeHCPerf, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		oh := r.Overhead
+		mean = oh.Mean()
+	}
+	b.ReportMetric(mean*1e6, "µs/coord-step")
+}
+
+// --- Ablation benchmarks (design-choice studies beyond the paper) ---
+
+// BenchmarkAblateGammaCap sweeps the γ cap (internal coordinator only).
+func BenchmarkAblateGammaCap(b *testing.B) { benchExperiment(b, "ablate-gammacap") }
+
+// BenchmarkAblateLatencyGuards ablates the e2e deadline and input-age bound.
+func BenchmarkAblateLatencyGuards(b *testing.B) { benchExperiment(b, "ablate-e2e") }
+
+// BenchmarkAblateDataAge toggles the input-age validity bound per scheme.
+func BenchmarkAblateDataAge(b *testing.B) { benchExperiment(b, "ablate-dataage") }
+
+// BenchmarkSweepProcs sweeps the processor count for EDF vs HCPerf.
+func BenchmarkSweepProcs(b *testing.B) { benchExperiment(b, "sweep-procs") }
+
+// BenchmarkExtAEB runs the emergency-braking extension.
+func BenchmarkExtAEB(b *testing.B) { benchExperiment(b, "ext-aeb") }
+
+// BenchmarkExtDualControl runs the dual-sink control extension.
+func BenchmarkExtDualControl(b *testing.B) { benchExperiment(b, "ext-dual") }
+
+// --- Micro-benchmarks of the hot paths ---
+
+func benchJobs(n int, rng *rand.Rand) []*sched.Job {
+	jobs := make([]*sched.Job, n)
+	for i := range jobs {
+		d := simtime.Duration(0.02 + rng.Float64()*0.08)
+		jobs[i] = &sched.Job{
+			Task: &dag.Task{
+				ID:          dag.TaskID(i),
+				Name:        "t" + strconv.Itoa(i),
+				Priority:    rng.Intn(23) + 1,
+				RelDeadline: d,
+				Exec:        exectime.Constant(simtime.Duration(0.002 + rng.Float64()*0.02)),
+			},
+			Release:     simtime.Time(rng.Float64() * 0.01),
+			AbsDeadline: simtime.Time(rng.Float64()*0.01) + d,
+			EstExec:     simtime.Duration(0.002 + rng.Float64()*0.02),
+		}
+	}
+	return jobs
+}
+
+// BenchmarkDynamicSelect measures HCPerf's per-dispatch decision.
+func BenchmarkDynamicSelect(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run("queue="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			jobs := benchJobs(n, rng)
+			dyn := sched.NewDynamic(0.02)
+			dyn.SetNominalU(0.01)
+			st := &sched.ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+			dyn.Recompute(0, jobs, st)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if idx := dyn.Select(0, jobs, 0, st); idx < 0 {
+					b.Fatal("no job selected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGammaSearch measures the Eq. 11 γmax bisection.
+func BenchmarkGammaSearch(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run("queue="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			jobs := benchJobs(n, rng)
+			dyn := sched.NewDynamic(0.02)
+			dyn.SetNominalU(0.01)
+			st := &sched.ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dyn.Recompute(0, jobs, st)
+			}
+		})
+	}
+}
+
+// BenchmarkMFCStep measures one Performance Directed Controller step.
+func BenchmarkMFCStep(b *testing.B) {
+	c, err := mfc.New(mfc.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step(simtime.Time(i)*100*simtime.Millisecond, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHungarianFusion measures the real O(n^3) matching that drives
+// the configurable-sensor-fusion execution model.
+func BenchmarkHungarianFusion(b *testing.B) {
+	for _, n := range []int{10, 23, 42} {
+		b.Run("obstacles="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			cost := make([][]float64, n)
+			for i := range cost {
+				cost[i] = make([]float64, n)
+				for j := range cost[i] {
+					cost[i][j] = rng.Float64()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := hungarian.Solve(cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSecond measures simulating one second of the 23-task
+// stack under each scheduling policy.
+func BenchmarkEngineSecond(b *testing.B) {
+	policies := map[string]func() sched.Scheduler{
+		"EDF":    func() sched.Scheduler { return sched.EDF{} },
+		"HPF":    func() sched.Scheduler { return sched.HPF{} },
+		"HCPerf": func() sched.Scheduler { return sched.NewDynamic(0) },
+	}
+	for name, mk := range policies {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := dag.ADGraph23()
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := simtime.NewEventQueue()
+				eng, err := engine.New(engine.Config{
+					Graph:     g,
+					Scheduler: mk(),
+					NumProcs:  2,
+					Queue:     q,
+					Seed:      int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Start(); err != nil {
+					b.Fatal(err)
+				}
+				if err := q.RunUntil(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+// Command hcperf-bench regenerates the tables and figures of the HCPerf
+// evaluation (paper §VII). With no flags it runs every registered
+// experiment and prints paper-style reports; -exp selects a single
+// experiment and -csv exports the raw series for plotting.
+//
+// Usage:
+//
+//	hcperf-bench [-exp fig13] [-seed 1] [-csv out/]
+//	hcperf-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hcperf/internal/experiment"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (default: all)")
+		seed = flag.Int64("seed", 1, "base random seed")
+		csv  = flag.String("csv", "", "directory for CSV export of series and rows")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if err := run(*exp, *seed, *csv, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "hcperf-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64, csvDir string, list bool) error {
+	if list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	ids := experiment.IDs()
+	if exp != "" {
+		ids = []string{exp}
+	}
+	for _, id := range ids {
+		rep, err := experiment.Run(id, seed)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if csvDir != "" {
+			if err := rep.WriteCSV(csvDir); err != nil {
+				return err
+			}
+		}
+	}
+	if csvDir != "" {
+		fmt.Printf("CSV series written to %s\n", csvDir)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("", 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig5", 1, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig5_rows.csv")); err != nil {
+		t.Errorf("rows CSV missing: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 1, "", false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

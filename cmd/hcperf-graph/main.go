@@ -1,0 +1,124 @@
+// Command hcperf-graph inspects the built-in autonomous-driving task
+// graphs: validation, per-task specs, end-to-end budgets along the primary
+// chains, and Graphviz DOT export.
+//
+// Usage:
+//
+//	hcperf-graph -graph ad23              # tabular summary
+//	hcperf-graph -graph motivation -dot   # DOT on stdout
+//	hcperf-graph -graph ad23 -analyze -procs 2 -obstacles 23
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"hcperf/internal/analysis"
+	"hcperf/internal/dag"
+	"hcperf/internal/exectime"
+)
+
+func main() {
+	var (
+		name      = flag.String("graph", "ad23", "ad23 | motivation")
+		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of the summary")
+		analyze   = flag.Bool("analyze", false, "print a schedulability analysis")
+		procs     = flag.Int("procs", 2, "processor count for -analyze")
+		obstacles = flag.Int("obstacles", 11, "scene obstacle count for -analyze")
+	)
+	flag.Parse()
+	if err := run(*name, *dot, *analyze, *procs, *obstacles); err != nil {
+		fmt.Fprintln(os.Stderr, "hcperf-graph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, dot, analyze bool, procs, obstacles int) error {
+	var (
+		g   *dag.Graph
+		err error
+	)
+	switch name {
+	case "ad23":
+		g, err = dag.ADGraph23()
+	case "motivation":
+		g, err = dag.MotivationGraph()
+	default:
+		return fmt.Errorf("unknown graph %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(g.DOT())
+		return nil
+	}
+	if analyze {
+		return printAnalysis(g, procs, obstacles)
+	}
+
+	cp, err := g.CriticalPathNominal()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "task\tprio\tD (ms)\texec (ms)\trate (Hz)\trange\tcrit\tpath (ms)\trole\n")
+	for _, t := range g.Tasks() {
+		role := ""
+		if len(g.Predecessors(t.ID)) == 0 {
+			role = "source"
+		}
+		if t.IsControl {
+			role = "control"
+		}
+		rng := "-"
+		if t.MaxRate > 0 {
+			rng = fmt.Sprintf("[%g,%g]", t.MinRate, t.MaxRate)
+		}
+		rate := "-"
+		if t.Rate > 0 {
+			rate = fmt.Sprintf("%g", t.Rate)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f\t%s\t%s\t%v\t%.1f\t%s\n",
+			t.Name, t.Priority, float64(t.RelDeadline)*1000,
+			float64(t.Exec.Nominal())*1000, rate, rng, t.Criticality,
+			float64(cp[t.ID])*1000, role)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d tasks, %d sources, %d sinks\n", g.Len(), len(g.Sources()), len(g.Sinks()))
+	return nil
+}
+
+func printAnalysis(g *dag.Graph, procs, obstacles int) error {
+	rep, err := analysis.Analyze(g, analysis.Options{
+		NumProcs: procs,
+		Scene:    exectime.Scene{Obstacles: obstacles, LoadFactor: 1},
+		Seed:     1,
+	})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "task\tcadence (Hz)\texec (ms)\tutil\tproc\n")
+	for _, row := range rep.Tasks {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.3f\t%d\n",
+			row.Task.Name, row.Cadence, float64(row.ExpectedExec)*1000,
+			row.Utilization, row.Processor)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntotal utilization  %.3f of %d processors (feasible: %t)\n",
+		rep.TotalUtilization, rep.NumProcs, rep.Feasible())
+	fmt.Printf("Liu-Layland bound  %.3f (within: %t)\n", rep.LLBound, rep.WithinLLBound())
+	fmt.Printf("Apollo loads       %v (feasible: %t, overloaded: %v)\n",
+		rep.ApolloLoads, rep.ApolloFeasible(), rep.Overloaded())
+	id, lat := rep.BottleneckChain()
+	fmt.Printf("bottleneck chain   %s at %.1f ms nominal latency\n",
+		g.Task(id).Name, float64(lat)*1000)
+	return nil
+}

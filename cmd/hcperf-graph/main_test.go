@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunSummaryAndDot(t *testing.T) {
+	for _, g := range []string{"ad23", "motivation"} {
+		if err := run(g, false, false, 2, 11); err != nil {
+			t.Fatalf("summary %s: %v", g, err)
+		}
+		if err := run(g, true, false, 2, 11); err != nil {
+			t.Fatalf("dot %s: %v", g, err)
+		}
+		if err := run(g, false, true, 2, 23); err != nil {
+			t.Fatalf("analyze %s: %v", g, err)
+		}
+	}
+}
+
+func TestRunUnknownGraph(t *testing.T) {
+	if err := run("bogus", false, false, 2, 11); err == nil {
+		t.Error("unknown graph accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Command hcperf-sim runs one HCPerf driving scenario under one scheduling
+// scheme and reports the driving-performance metrics, optionally exporting
+// every recorded time series as CSV.
+//
+// Usage:
+//
+//	hcperf-sim -scenario carfollow -scheme hcperf [-seed 1] [-duration 90] [-csv run.csv]
+//	hcperf-sim -scenario lanekeep  -scheme apollo
+//	hcperf-sim -scenario motivation -scheme apollo
+//	hcperf-sim -scenario hardware  -scheme edf
+//	hcperf-sim -scenario jam       -scheme hcperf
+//	hcperf-sim -scenario combined  -scheme hcperf      # dual-control graph
+//	hcperf-sim -mode rt -duration 5 -scheme hcperf     # wall-clock executor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/rt"
+	"hcperf/internal/scenario"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+	"hcperf/internal/trace"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "carfollow", "carfollow | lanekeep | motivation | hardware | jam | combined")
+		schemeName   = flag.String("scheme", "hcperf", "hpf | edf | edfvd | apollo | hcperf | hcperf-internal")
+		seed         = flag.Int64("seed", 1, "random seed")
+		duration     = flag.Float64("duration", 0, "override scenario duration (seconds; 0 = default)")
+		csvPath      = flag.String("csv", "", "write recorded series to this CSV file")
+		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock)")
+	)
+	flag.Parse()
+	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *mode); err != nil {
+		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseScheme(name string) (scenario.Scheme, error) {
+	switch name {
+	case "hpf":
+		return scenario.SchemeHPF, nil
+	case "edf":
+		return scenario.SchemeEDF, nil
+	case "edfvd", "edf-vd":
+		return scenario.SchemeEDFVD, nil
+	case "apollo":
+		return scenario.SchemeApollo, nil
+	case "hcperf":
+		return scenario.SchemeHCPerf, nil
+	case "hcperf-internal":
+		return scenario.SchemeHCPerfInternal, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, mode string) error {
+	scheme, err := parseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	if mode == "rt" {
+		return runWallClock(scheme, seed, duration)
+	}
+	if mode != "sim" {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	var rec *trace.Recorder
+	switch scenarioName {
+	case "carfollow", "hardware", "jam":
+		cfg := scenario.CarFollowingConfig{Scheme: scheme, Seed: seed}
+		switch scenarioName {
+		case "hardware":
+			if cfg, err = scenario.HardwareCarFollowingConfig(scheme, seed); err != nil {
+				return err
+			}
+		case "jam":
+			if cfg, err = scenario.JamCarFollowingConfig(scheme, seed); err != nil {
+				return err
+			}
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		r, err := scenario.RunCarFollowing(cfg)
+		if err != nil {
+			return err
+		}
+		rec = r.Rec
+		fmt.Printf("scenario=%s scheme=%v seed=%d duration=%.0fs\n", scenarioName, scheme, seed, cfg.Duration)
+		fmt.Printf("speed RMS        %.4f m/s\n", r.SpeedErrRMS)
+		fmt.Printf("distance RMS     %.4f m\n", r.DistErrRMS)
+		fmt.Printf("miss ratio       %.4f\n", r.Miss.MeanRatio())
+		fmt.Printf("commands         %d (%.1f/s)\n", r.EngineStats.ControlCommands, r.Throughput)
+		fmt.Printf("mean response    %.1f ms\n", r.MeanResponse*1000)
+		fmt.Printf("mean e2e latency %.1f ms\n", r.EngineStats.EndToEnd.Mean()*1000)
+		if r.Collision {
+			fmt.Printf("COLLISION at t=%.1fs\n", r.CollisionAt)
+		}
+	case "lanekeep":
+		cfg := scenario.LaneKeepingConfig{Scheme: scheme, Seed: seed}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		r, err := scenario.RunLaneKeeping(cfg)
+		if err != nil {
+			return err
+		}
+		rec = r.Rec
+		fmt.Printf("scenario=lanekeep scheme=%v seed=%d\n", scheme, seed)
+		fmt.Printf("offset RMS  %.4f m\n", r.OffsetRMS)
+		fmt.Printf("offset max  %.4f m\n", r.OffsetMax)
+		fmt.Printf("miss ratio  %.4f\n", r.Miss.MeanRatio())
+		fmt.Printf("commands/s  %.1f\n", r.Throughput)
+	case "combined":
+		cfg := scenario.CombinedConfig{Scheme: scheme, Seed: seed}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		r, err := scenario.RunCombined(cfg)
+		if err != nil {
+			return err
+		}
+		rec = r.Rec
+		fmt.Printf("scenario=combined scheme=%v seed=%d\n", scheme, seed)
+		fmt.Printf("speed RMS   %.4f m/s\n", r.SpeedErrRMS)
+		fmt.Printf("offset RMS  %.4f m\n", r.OffsetRMS)
+		fmt.Printf("commands    lon=%d lat=%d\n", r.LonCommands, r.LatCommands)
+		fmt.Printf("miss ratio  %.4f\n", r.Miss.MeanRatio())
+	case "motivation":
+		cfg := scenario.MotivationConfig{Scheme: scheme, Seed: seed}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		r, err := scenario.RunMotivation(cfg)
+		if err != nil {
+			return err
+		}
+		rec = r.Rec
+		fmt.Printf("scenario=motivation scheme=%v seed=%d\n", scheme, seed)
+		fmt.Printf("collision   %t", r.Collision)
+		if r.Collision {
+			fmt.Printf(" at t=%.1fs", r.CollisionAt)
+		}
+		fmt.Println()
+		fmt.Printf("min gap     %.2f m\n", r.MinGap)
+		fmt.Printf("miss ratio  %.4f\n", r.Miss.MeanRatio())
+	default:
+		return fmt.Errorf("unknown scenario %q", scenarioName)
+	}
+
+	if csvPath != "" && rec != nil {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("series written to %s\n", csvPath)
+	}
+	return nil
+}
+
+// runWallClock demonstrates the real-time executor: the 23-task graph on
+// wall clock with a synthetic oscillating tracking error driving the HCPerf
+// coordinators.
+func runWallClock(scheme scenario.Scheme, seed int64, duration float64) error {
+	if duration <= 0 {
+		duration = 5
+	}
+	graph, err := dag.ADGraph23()
+	if err != nil {
+		return err
+	}
+	var scheduler sched.Scheduler
+	var trackErr func(simtime.Time) float64
+	switch scheme {
+	case scenario.SchemeHCPerf, scenario.SchemeHCPerfInternal:
+		scheduler = sched.NewDynamic(0)
+		trackErr = func(t simtime.Time) float64 {
+			return math.Abs(1.5 * math.Sin(2*math.Pi*float64(t)/7))
+		}
+	case scenario.SchemeHPF:
+		scheduler = sched.HPF{}
+	case scenario.SchemeEDF:
+		scheduler = sched.EDF{}
+	case scenario.SchemeEDFVD:
+		scheduler = sched.NewEDFVD(scenario.EDFVDScale)
+	case scenario.SchemeApollo:
+		scheduler = sched.Apollo{}
+	default:
+		return fmt.Errorf("unsupported scheme %v", scheme)
+	}
+	ex, err := rt.New(rt.Config{
+		Graph:           graph,
+		Scheduler:       scheduler,
+		NumProcs:        2,
+		Seed:            seed,
+		TrackingError:   trackErr,
+		DisableExternal: scheme == scenario.SchemeHCPerfInternal,
+		MaxDataAge:      220 * simtime.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wall-clock executor: scheme=%v M=2, running %.0fs...\n", scheme, duration)
+	if err := ex.Start(); err != nil {
+		return err
+	}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	deadline := time.Now().Add(time.Duration(duration * float64(time.Second)))
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		st := ex.Stats()
+		fmt.Printf("t=%4.0fs released=%d completed=%d missed=%d cmds=%d miss=%.3f\n",
+			float64(ex.Elapsed()), st.Released, st.Completed, st.Missed,
+			st.ControlCommands, st.MissRatio())
+	}
+	ex.Stop()
+	st := ex.Stats()
+	fmt.Printf("final: commands=%d miss=%.4f e2e-miss=%.4f\n",
+		st.ControlCommands, st.MissRatio(), st.E2EMissRatio())
+	return nil
+}

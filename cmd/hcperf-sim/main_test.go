@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hcperf/internal/scenario"
+)
+
+func TestParseScheme(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    scenario.Scheme
+		wantErr bool
+	}{
+		{give: "hpf", want: scenario.SchemeHPF},
+		{give: "edf", want: scenario.SchemeEDF},
+		{give: "edfvd", want: scenario.SchemeEDFVD},
+		{give: "edf-vd", want: scenario.SchemeEDFVD},
+		{give: "apollo", want: scenario.SchemeApollo},
+		{give: "hcperf", want: scenario.SchemeHCPerf},
+		{give: "hcperf-internal", want: scenario.SchemeHCPerfInternal},
+		{give: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseScheme(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseScheme(%q) err = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseScheme(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunScenariosShort(t *testing.T) {
+	for _, sc := range []string{"carfollow", "lanekeep", "motivation", "hardware", "jam", "combined"} {
+		t.Run(sc, func(t *testing.T) {
+			dur := 5.0
+			if err := run(sc, "edf", 1, dur, "", "sim"); err != nil {
+				t.Fatalf("run(%s): %v", sc, err)
+			}
+		})
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.csv")
+	if err := run("carfollow", "hcperf", 1, 5, path, "sim"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("CSV file is empty")
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if err := run("bogus", "edf", 1, 0, "", "sim"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("carfollow", "bogus", 1, 0, "", "sim"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run("carfollow", "edf", 1, 0, "", "bogus"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunWallClockBriefly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	if err := run("carfollow", "hcperf", 1, 2, "", "rt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("carfollow", "edf", 1, 2, "", "rt"); err != nil {
+		t.Fatal(err)
+	}
+}

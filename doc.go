@@ -1,0 +1,13 @@
+// Package hcperf is a from-scratch Go reproduction of "HCPerf: Driving
+// Performance-Directed Hierarchical Coordination for Autonomous Vehicles"
+// (ICDCS 2023): a task-coordination framework that schedules an autonomous
+// driving stack's DAG of periodic tasks according to the vehicle's runtime
+// driving performance.
+//
+// The implementation lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory), runnable binaries under cmd/, and worked
+// examples under examples/. The root package holds the module documentation
+// and the benchmark harness that regenerates every table and figure of the
+// paper's evaluation (bench_test.go; see EXPERIMENTS.md for the measured
+// results).
+package hcperf

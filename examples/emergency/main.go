@@ -1,0 +1,52 @@
+// Emergency responsiveness: the paper's §VII-C traffic-jam study. Both
+// cars cruise at 20 m/s; at t = 10 s the lead brakes into a jam while the
+// scene fills with vehicles. HCPerf detects the growing gap error and
+// prioritises control-command generation; once the jam clears it restores
+// throughput and passenger comfort (Figs. 16-17).
+//
+//	go run ./examples/emergency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hcperf/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, s := range []scenario.Scheme{scenario.SchemeEDF, scenario.SchemeHCPerf} {
+		cfg, err := scenario.JamCarFollowingConfig(s, 1)
+		if err != nil {
+			return err
+		}
+		r, err := scenario.RunCarFollowing(cfg)
+		if err != nil {
+			return err
+		}
+		gap := r.Rec.Series("dist_err")
+		disc := r.Rec.Series("discomfort")
+		thr := r.Rec.Series("throughput")
+		fmt.Printf("%v:\n", s)
+		fmt.Printf("  gap error RMS   pre %.2f m | jam %.2f m | post %.2f m (peak %.2f m)\n",
+			gap.RMS(0, 10), gap.RMS(10, 20), gap.RMS(28, 35), gap.MaxAbs(0, 35))
+		fmt.Printf("  throughput      pre %.1f/s | jam %.1f/s | post %.1f/s\n",
+			thr.Mean(1, 10), thr.Mean(10, 20), thr.Mean(28, 35))
+		fmt.Printf("  discomfort      jam %.2f | post %.2f (windowed RMS jerk)\n",
+			disc.Mean(10, 20), disc.Mean(28, 35))
+		if g := r.Rec.Series("gamma"); g != nil {
+			fmt.Printf("  gamma           pre %.4f | jam %.4f (priority boost while the error is high)\n",
+				g.Mean(1, 10), g.Mean(10, 20))
+		}
+		fmt.Println()
+	}
+	fmt.Println("HCPerf trades throughput for responsiveness during the emergency and")
+	fmt.Println("hands the resources back once the tracking error is mitigated.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module hcperf
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package bus is a minimal in-process topic-based publish/subscribe fabric,
+// modelled after the channel layer of Apollo Cyber RT. The simulation engine
+// publishes task outputs and control commands on topics; scenarios and
+// coordinators subscribe.
+//
+// Delivery is synchronous and in subscription order: the simulator is a
+// single-threaded discrete-event system, so a publish at virtual time t is
+// observed by all subscribers at t before the next event runs. A Bus is not
+// safe for concurrent use; the wall-clock executor (internal/rt) wraps it
+// with its own synchronisation.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Message is a payload published on a topic.
+type Message any
+
+// Handler consumes messages published on a subscribed topic.
+type Handler func(topic string, msg Message)
+
+// Subscription identifies one subscriber; use Bus.Unsubscribe to detach.
+type Subscription struct {
+	topic string
+	id    int
+}
+
+// Bus routes messages from publishers to topic subscribers.
+type Bus struct {
+	nextID int
+	subs   map[string]map[int]Handler
+	// published counts messages per topic for diagnostics.
+	published map[string]uint64
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{
+		subs:      make(map[string]map[int]Handler),
+		published: make(map[string]uint64),
+	}
+}
+
+// Subscribe registers handler for every future publish on topic.
+func (b *Bus) Subscribe(topic string, handler Handler) (Subscription, error) {
+	if topic == "" {
+		return Subscription{}, errors.New("bus: empty topic")
+	}
+	if handler == nil {
+		return Subscription{}, errors.New("bus: nil handler")
+	}
+	m, ok := b.subs[topic]
+	if !ok {
+		m = make(map[int]Handler)
+		b.subs[topic] = m
+	}
+	id := b.nextID
+	b.nextID++
+	m[id] = handler
+	return Subscription{topic: topic, id: id}, nil
+}
+
+// Unsubscribe detaches a subscription; unknown subscriptions are ignored.
+func (b *Bus) Unsubscribe(s Subscription) {
+	if m, ok := b.subs[s.topic]; ok {
+		delete(m, s.id)
+		if len(m) == 0 {
+			delete(b.subs, s.topic)
+		}
+	}
+}
+
+// Publish delivers msg to every subscriber of topic, in subscription order.
+// Publishing to a topic with no subscribers is legal and counted.
+func (b *Bus) Publish(topic string, msg Message) error {
+	if topic == "" {
+		return errors.New("bus: empty topic")
+	}
+	b.published[topic]++
+	m, ok := b.subs[topic]
+	if !ok {
+		return nil
+	}
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if h, still := m[id]; still { // a handler may unsubscribe peers
+			h(topic, msg)
+		}
+	}
+	return nil
+}
+
+// Subscribers returns the number of active subscribers on topic.
+func (b *Bus) Subscribers(topic string) int { return len(b.subs[topic]) }
+
+// Published returns how many messages have been published on topic.
+func (b *Bus) Published(topic string) uint64 { return b.published[topic] }
+
+// Topics returns the topics with at least one subscriber, sorted.
+func (b *Bus) Topics() []string {
+	out := make([]string, 0, len(b.subs))
+	for t := range b.subs {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarises the bus for diagnostics.
+func (b *Bus) String() string {
+	return fmt.Sprintf("bus{topics=%d}", len(b.subs))
+}

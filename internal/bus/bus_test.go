@@ -1,0 +1,142 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := New()
+	var got []int
+	if _, err := b.Subscribe("a", func(_ string, m Message) { got = append(got, m.(int)) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := b.Publish("a", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("received %v, want [1 2 3]", got)
+	}
+	if b.Published("a") != 3 {
+		t.Errorf("Published = %d, want 3", b.Published("a"))
+	}
+}
+
+func TestSubscriptionOrder(t *testing.T) {
+	b := New()
+	var order []string
+	mustSub(t, b, "x", func(string, Message) { order = append(order, "first") })
+	mustSub(t, b, "x", func(string, Message) { order = append(order, "second") })
+	if err := b.Publish("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("delivery order %v", order)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := New()
+	count := 0
+	sub := mustSub(t, b, "x", func(string, Message) { count++ })
+	if err := b.Publish("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Unsubscribe(sub)
+	if err := b.Publish("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("handler ran %d times, want 1", count)
+	}
+	if b.Subscribers("x") != 0 {
+		t.Errorf("Subscribers = %d after unsubscribe, want 0", b.Subscribers("x"))
+	}
+	// Unknown subscription: no-op.
+	b.Unsubscribe(Subscription{topic: "zz", id: 99})
+}
+
+func TestUnsubscribePeerDuringDelivery(t *testing.T) {
+	b := New()
+	var second Subscription
+	ranSecond := false
+	mustSub(t, b, "x", func(string, Message) { b.Unsubscribe(second) })
+	second = mustSub(t, b, "x", func(string, Message) { ranSecond = true })
+	if err := b.Publish("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if ranSecond {
+		t.Error("unsubscribed peer still received the message")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	b := New()
+	if _, err := b.Subscribe("", func(string, Message) {}); err == nil {
+		t.Error("empty topic subscription accepted")
+	}
+	if _, err := b.Subscribe("x", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if err := b.Publish("", 1); err == nil {
+		t.Error("empty topic publish accepted")
+	}
+	if err := b.Publish("nobody", 1); err != nil {
+		t.Errorf("publish without subscribers failed: %v", err)
+	}
+}
+
+func TestTopicsAndString(t *testing.T) {
+	b := New()
+	mustSub(t, b, "beta", func(string, Message) {})
+	mustSub(t, b, "alpha", func(string, Message) {})
+	topics := b.Topics()
+	if len(topics) != 2 || topics[0] != "alpha" || topics[1] != "beta" {
+		t.Errorf("Topics = %v", topics)
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// Property: every published message reaches every live subscriber exactly
+// once, regardless of subscriber count.
+func TestQuickFanOut(t *testing.T) {
+	f := func(nSubs uint8, nMsgs uint8) bool {
+		b := New()
+		subs := int(nSubs%16) + 1
+		msgs := int(nMsgs % 32)
+		counts := make([]int, subs)
+		for i := 0; i < subs; i++ {
+			i := i
+			if _, err := b.Subscribe("t", func(string, Message) { counts[i]++ }); err != nil {
+				return false
+			}
+		}
+		for m := 0; m < msgs; m++ {
+			if err := b.Publish("t", m); err != nil {
+				return false
+			}
+		}
+		for _, c := range counts {
+			if c != msgs {
+				return false
+			}
+		}
+		return b.Published("t") == uint64(msgs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustSub(t *testing.T, b *Bus, topic string, h Handler) Subscription {
+	t.Helper()
+	sub, err := b.Subscribe(topic, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}

@@ -1,0 +1,65 @@
+package dag_test
+
+import (
+	"fmt"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/exectime"
+	"hcperf/internal/simtime"
+)
+
+// Building a minimal sensing → perception → control pipeline. The first
+// predecessor edge added to a task is its primary (data-triggering) input.
+func Example() {
+	const ms = simtime.Millisecond
+	g := dag.New()
+	tasks := []dag.Task{
+		{
+			Name: "lidar", Priority: 3, RelDeadline: 25 * ms,
+			Rate: 10, MinRate: 5, MaxRate: 20,
+			Exec: exectime.Constant(2 * ms),
+		},
+		{
+			Name: "fusion", Priority: 2, RelDeadline: 60 * ms,
+			Exec: exectime.Constant(20 * ms),
+		},
+		{
+			Name: "control", Priority: 1, RelDeadline: 20 * ms,
+			E2E: 200 * ms, IsControl: true,
+			Exec: exectime.Constant(3 * ms),
+		},
+	}
+	for _, t := range tasks {
+		if _, err := g.AddTask(t); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	for _, e := range [][2]string{{"lidar", "fusion"}, {"fusion", "control"}} {
+		if err := g.AddEdgeByName(e[0], e[1]); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, id := range order {
+		fmt.Println(g.Task(id).Name)
+	}
+	fmt.Printf("sources=%d sinks=%d primary(control)=%s\n",
+		len(g.Sources()), len(g.Sinks()),
+		g.Task(g.PrimaryPred(g.TaskByName("control").ID)).Name)
+	// Output:
+	// lidar
+	// fusion
+	// control
+	// sources=1 sinks=1 primary(control)=fusion
+}

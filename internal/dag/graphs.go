@@ -1,0 +1,328 @@
+package dag
+
+import (
+	"fmt"
+
+	"hcperf/internal/exectime"
+	"hcperf/internal/simtime"
+)
+
+// The prebuilt graphs below reconstruct the two task graphs used in the
+// paper. Figure 2 (the motivation example) names image pre-processing,
+// traffic-light detection, configurable sensor fusion, object tracking,
+// prediction, planning and control; Figure 11 (the evaluation graph) is a
+// 23-task sensing-to-control pipeline with [priority, execution-time] pairs
+// measured from Apollo on a Jetson TX2. The figures themselves are images,
+// so topology details and exact numbers are reconstructed to match the
+// text: unique static priorities with Control highest (=1), configurable
+// sensor fusion dominated by O(n^3) Hungarian matching, and source (sensing)
+// tasks with adjustable rates such as GPS/IMU in [10 Hz, 100 Hz].
+
+const ms = simtime.Millisecond
+
+// tn builds a truncated-normal model and panics on invalid literals; it is
+// only used with compile-time constants below.
+func tn(mean, sd, lo, hi simtime.Duration) exectime.Model {
+	m, err := exectime.NewTruncNormal(mean, sd, lo, hi)
+	if err != nil {
+		panic(fmt.Sprintf("dag: bad builtin exec model: %v", err))
+	}
+	return m
+}
+
+// linear builds an obstacle-count-sensitive execution model and panics on
+// invalid literals; it is only used with compile-time constants below.
+func linear(base, perItem simtime.Duration) exectime.Model {
+	m, err := exectime.NewLinear(base, perItem, 10, 0.08)
+	if err != nil {
+		panic(fmt.Sprintf("dag: bad builtin linear model: %v", err))
+	}
+	return m
+}
+
+// fusionModel builds the configurable-sensor-fusion execution model:
+// base cost plus Hungarian O(n^3) matching over scene obstacles. With the
+// default scene of ~10 obstacles this lands on the paper's 20 ms nominal.
+func fusionModel() exectime.Model {
+	m, err := exectime.NewFusion(18*ms, 2*simtime.Duration(1e-6), 0.05)
+	if err != nil {
+		panic(fmt.Sprintf("dag: bad fusion model: %v", err))
+	}
+	return m
+}
+
+// MotivationGraph builds the small Figure-2 style graph used by the
+// motivation experiment (E1): two sensing sources feeding traffic-light
+// detection and configurable sensor fusion, then tracking, prediction,
+// planning and control. Priorities follow the Apollo convention (smaller =
+// higher) with Control at 1.
+func MotivationGraph() (*Graph, error) {
+	g := New()
+	specs := []graphSpec{
+		{task: Task{
+			Name: "image_preproc", Priority: 8, RelDeadline: 40 * ms,
+			Rate: 20, MinRate: 10, MaxRate: 40,
+			Exec: tn(8*ms, 1*ms, 5*ms, 14*ms),
+		}},
+		{task: Task{
+			Name: "lidar_preproc", Priority: 9, RelDeadline: 40 * ms,
+			Rate: 20, MinRate: 10, MaxRate: 40,
+			Exec: tn(10*ms, 1.2*ms, 6*ms, 18*ms),
+		}},
+		{task: Task{
+			Name: "traffic_light_detection", Priority: 6, RelDeadline: 45 * ms,
+			Exec: tn(6*ms, 0.8*ms, 4*ms, 11*ms),
+		}, preds: []string{"image_preproc"}},
+		{task: Task{
+			Name: "sensor_fusion", Priority: 5, RelDeadline: 80 * ms,
+			Criticality: HighCriticality,
+			Exec:        fusionModel(),
+		}, preds: []string{"image_preproc", "lidar_preproc"}},
+		{task: Task{
+			Name: "object_tracking", Priority: 4, RelDeadline: 45 * ms,
+			Criticality: HighCriticality,
+			Exec:        tn(10*ms, 1*ms, 6*ms, 16*ms),
+		}, preds: []string{"sensor_fusion"}},
+		{task: Task{
+			Name: "prediction", Priority: 3, RelDeadline: 45 * ms,
+			Criticality: HighCriticality,
+			Exec:        tn(8*ms, 1*ms, 5*ms, 14*ms),
+		}, preds: []string{"object_tracking", "traffic_light_detection"}},
+		{task: Task{
+			Name: "planning", Priority: 2, RelDeadline: 50 * ms,
+			Criticality: HighCriticality,
+			Exec:        tn(12*ms, 1.4*ms, 7*ms, 20*ms),
+		}, preds: []string{"prediction"}},
+		{task: Task{
+			Name: "control", Priority: 1, RelDeadline: 30 * ms, E2E: 250 * ms,
+			Criticality: HighCriticality, IsControl: true,
+			Exec: tn(3*ms, 0.4*ms, 2*ms, 6*ms),
+		}, preds: []string{"planning"}},
+	}
+	if err := build(g, specs); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ADGraph23 builds the 23-task evaluation graph of Figure 11: six sensing
+// sources, a camera/lidar/radar perception front-end, configurable sensor
+// fusion, localization, prediction, a three-stage planner and the control
+// sink. Processor indices carry the Apollo-style static binding used by the
+// Apollo baseline scheduler (M = 4).
+func ADGraph23() (*Graph, error) {
+	g := New()
+	specs := []graphSpec{
+		// Sensing sources. GPS/IMU carries the paper's [10 Hz, 100 Hz]
+		// adjustable range.
+		{task: Task{
+			Name: "camera_front", Priority: 20, RelDeadline: 25 * ms,
+			Rate: 15, MinRate: 8, MaxRate: 30, Processor: 1,
+			Exec: tn(1.5*ms, 0.2*ms, 1*ms, 3*ms),
+		}},
+		{task: Task{
+			Name: "camera_traffic_light", Priority: 21, RelDeadline: 30 * ms,
+			Rate: 10, MinRate: 5, MaxRate: 20, Processor: 1,
+			Exec: tn(1.5*ms, 0.2*ms, 1*ms, 3*ms),
+		}},
+		{task: Task{
+			Name: "lidar_scan", Priority: 19, RelDeadline: 25 * ms,
+			Rate: 10, MinRate: 5, MaxRate: 20, Processor: 2,
+			Exec: tn(2*ms, 0.3*ms, 1*ms, 4*ms),
+		}},
+		{task: Task{
+			Name: "radar_scan", Priority: 22, RelDeadline: 30 * ms,
+			Rate: 15, MinRate: 8, MaxRate: 30, Processor: 2,
+			Exec: tn(1*ms, 0.2*ms, 0.5*ms, 2*ms),
+		}},
+		{task: Task{
+			Name: "gps_imu", Priority: 23, RelDeadline: 15 * ms,
+			Rate: 20, MinRate: 10, MaxRate: 100, Processor: 3,
+			Exec: tn(0.8*ms, 0.1*ms, 0.5*ms, 1.5*ms),
+		}},
+		{task: Task{
+			Name: "chassis_feedback", Priority: 18, RelDeadline: 15 * ms,
+			Rate: 20, MinRate: 10, MaxRate: 100, Processor: 4,
+			Exec: tn(0.6*ms, 0.1*ms, 0.3*ms, 1.2*ms),
+		}},
+		// Pre-processing.
+		{task: Task{
+			Name: "image_preproc", Priority: 15, RelDeadline: 35 * ms, Processor: 1,
+			Exec: tn(8*ms, 1*ms, 5*ms, 14*ms),
+		}, preds: []string{"camera_front"}},
+		{task: Task{
+			Name: "tl_image_preproc", Priority: 16, RelDeadline: 30 * ms, Processor: 3,
+			Exec: tn(5*ms, 0.7*ms, 3*ms, 9*ms),
+		}, preds: []string{"camera_traffic_light"}},
+		{task: Task{
+			Name: "pointcloud_preproc", Priority: 14, RelDeadline: 45 * ms, Processor: 2,
+			Exec: tn(10*ms, 1.2*ms, 6*ms, 17*ms),
+		}, preds: []string{"lidar_scan"}},
+		{task: Task{
+			Name: "radar_preproc", Priority: 17, RelDeadline: 35 * ms, Processor: 3,
+			Exec: tn(3*ms, 0.4*ms, 2*ms, 6*ms),
+		}, preds: []string{"radar_scan"}},
+		// Detection.
+		{task: Task{
+			Name: "lane_detection", Priority: 12, RelDeadline: 35 * ms, Processor: 1,
+			Exec: tn(8*ms, 1*ms, 5*ms, 14*ms),
+		}, preds: []string{"image_preproc"}},
+		{task: Task{
+			Name: "camera_detection", Priority: 11, RelDeadline: 40 * ms, Processor: 1,
+			Exec: linear(7*ms, 0.4*ms),
+		}, preds: []string{"image_preproc"}},
+		{task: Task{
+			Name: "traffic_light_detection", Priority: 13, RelDeadline: 40 * ms, Processor: 3,
+			Exec: tn(6*ms, 0.8*ms, 4*ms, 11*ms),
+		}, preds: []string{"tl_image_preproc"}},
+		{task: Task{
+			Name: "lidar_detection", Priority: 10, RelDeadline: 45 * ms, Processor: 2,
+			Exec: linear(9*ms, 0.5*ms),
+		}, preds: []string{"pointcloud_preproc"}},
+		// Fusion, tracking, localization.
+		{task: Task{
+			Name: "sensor_fusion", Priority: 9, RelDeadline: 70 * ms, Processor: 2,
+			Criticality: HighCriticality,
+			Exec:        fusionModel(),
+		}, preds: []string{"lidar_detection", "camera_detection", "radar_preproc"}},
+		{task: Task{
+			Name: "object_tracking", Priority: 8, RelDeadline: 35 * ms, Processor: 3,
+			Criticality: HighCriticality,
+			Exec:        linear(6*ms, 0.4*ms),
+		}, preds: []string{"sensor_fusion"}},
+		{task: Task{
+			Name: "localization", Priority: 7, RelDeadline: 40 * ms, Processor: 3,
+			Criticality: HighCriticality,
+			Exec:        tn(8*ms, 0.9*ms, 5*ms, 13*ms),
+		}, preds: []string{"gps_imu", "pointcloud_preproc"}},
+		// Prediction and planning.
+		{task: Task{
+			Name: "prediction", Priority: 6, RelDeadline: 35 * ms, Processor: 4,
+			Criticality: HighCriticality,
+			Exec:        tn(9*ms, 1*ms, 5*ms, 15*ms),
+		}, preds: []string{"object_tracking", "localization"}},
+		{task: Task{
+			Name: "reference_line", Priority: 5, RelDeadline: 35 * ms, Processor: 3,
+			Criticality: HighCriticality,
+			Exec:        tn(7*ms, 0.8*ms, 4*ms, 12*ms),
+		}, preds: []string{"lane_detection", "localization"}},
+		{task: Task{
+			Name: "behavior_planning", Priority: 4, RelDeadline: 40 * ms, Processor: 4,
+			Criticality: HighCriticality,
+			Exec:        tn(10*ms, 1.1*ms, 6*ms, 17*ms),
+		}, preds: []string{"prediction", "traffic_light_detection", "reference_line"}},
+		{task: Task{
+			Name: "motion_planning", Priority: 3, RelDeadline: 45 * ms, Processor: 4,
+			Criticality: HighCriticality,
+			Exec:        tn(14*ms, 1.5*ms, 8*ms, 23*ms),
+		}, preds: []string{"behavior_planning", "reference_line"}},
+		{task: Task{
+			Name: "trajectory_postproc", Priority: 2, RelDeadline: 22 * ms, Processor: 4,
+			Criticality: HighCriticality,
+			Exec:        tn(4*ms, 0.5*ms, 2*ms, 7*ms),
+		}, preds: []string{"motion_planning", "chassis_feedback"}},
+		{task: Task{
+			Name: "control", Priority: 1, RelDeadline: 18 * ms, E2E: 250 * ms, Processor: 4,
+			Criticality: HighCriticality, IsControl: true,
+			Exec: tn(3*ms, 0.4*ms, 2*ms, 6*ms),
+		}, preds: []string{"trajectory_postproc", "chassis_feedback"}},
+	}
+	if err := build(g, specs); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// graphSpec pairs a task with the names of its immediate predecessors.
+type graphSpec struct {
+	task  Task
+	preds []string
+}
+
+func build(g *Graph, specs []graphSpec) error {
+	for _, s := range specs {
+		if _, err := g.AddTask(s.task); err != nil {
+			return err
+		}
+	}
+	for _, s := range specs {
+		for _, p := range s.preds {
+			if err := g.AddEdgeByName(p, s.task.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return g.Validate()
+}
+
+// ADGraphDualControl builds a 24-task variant of the evaluation graph in
+// which the control stage is split into separate longitudinal and lateral
+// sinks (lon_control commands throttle/brake, lat_control commands
+// steering), both data-triggered by trajectory post-processing. This is the
+// multi-sink configuration real Apollo deployments use and exercises the
+// engine's support for several control tasks in one graph.
+func ADGraphDualControl() (*Graph, error) {
+	g, err := ADGraph23()
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild from the 23-task spec, replacing the single control sink.
+	dual := New()
+	for _, t := range g.Tasks() {
+		if t.Name == "control" {
+			continue
+		}
+		spec := *t
+		spec.ID = 0
+		if _, err := dual.AddTask(spec); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range g.Tasks() {
+		if t.Name == "control" {
+			continue
+		}
+		for _, s := range g.Successors(t.ID) {
+			succ := g.Task(s)
+			if succ.Name == "control" {
+				continue
+			}
+			if err := dual.AddEdgeByName(t.Name, succ.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sinks := []Task{
+		{
+			Name: "lon_control", Priority: 1, RelDeadline: 18 * ms, E2E: 250 * ms,
+			Processor: 4, Criticality: HighCriticality, IsControl: true,
+			Exec: tn(2.5*ms, 0.3*ms, 1.5*ms, 5*ms),
+		},
+		{
+			Name: "lat_control", Priority: 2, RelDeadline: 18 * ms, E2E: 250 * ms,
+			Processor: 4, Criticality: HighCriticality, IsControl: true,
+			Exec: tn(2.5*ms, 0.3*ms, 1.5*ms, 5*ms),
+		},
+	}
+	for _, sink := range sinks {
+		if _, err := dual.AddTask(sink); err != nil {
+			return nil, err
+		}
+		for _, pred := range []string{"trajectory_postproc", "chassis_feedback"} {
+			if err := dual.AddEdgeByName(pred, sink.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Shift every inherited priority up by one so the two control sinks
+	// hold the unique top slots 1 and 2.
+	for _, t := range dual.Tasks() {
+		if t.Name != "lon_control" && t.Name != "lat_control" {
+			t.Priority++
+		}
+	}
+	if err := dual.Validate(); err != nil {
+		return nil, err
+	}
+	return dual, nil
+}

@@ -1,0 +1,589 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/exectime"
+	"hcperf/internal/scenario"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+	"hcperf/internal/trace"
+)
+
+// fmtF renders a float with the given decimals.
+func fmtF(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// runCarFollowingSweep runs all five schemes of a car-following variant.
+func runCarFollowingSweep(seed int64, build func(scenario.Scheme) (scenario.CarFollowingConfig, error)) (map[scenario.Scheme]*scenario.CarFollowingResult, error) {
+	out := make(map[scenario.Scheme]*scenario.CarFollowingResult, 5)
+	for _, s := range scenario.AllSchemes() {
+		cfg, err := build(s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := scenario.RunCarFollowing(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %v: %w", s, err)
+		}
+		out[s] = r
+	}
+	return out, nil
+}
+
+func simCarFollowing(seed int64) (map[scenario.Scheme]*scenario.CarFollowingResult, error) {
+	return runCarFollowingSweep(seed, func(s scenario.Scheme) (scenario.CarFollowingConfig, error) {
+		return scenario.CarFollowingConfig{Scheme: s, Seed: seed}, nil
+	})
+}
+
+// Fig4Motivation reproduces the §II motivation experiment: the red-light
+// scenario under Apollo's static-priority scheduling ends in a collision
+// while the deadline-miss ratio ramps (Fig. 4(a) and 4(b)).
+func Fig4Motivation(seed int64) (*Report, error) {
+	r, err := scenario.RunMotivation(scenario.MotivationConfig{Scheme: scenario.SchemeApollo, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig4",
+		Title:  "Motivation: red-light scenario under Apollo static priority",
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"collision", fmt.Sprintf("%t", r.Collision)},
+			{"collision time (s)", fmtF(r.CollisionAt, 1)},
+			{"mean miss ratio", fmtF(r.Miss.MeanRatio(), 3)},
+			{"miss ratio t<5s", fmtF(avgRatio(r.Miss.Ratios(), 0, 5), 3)},
+			{"miss ratio t in [10,20)", fmtF(avgRatio(r.Miss.Ratios(), 10, 20), 3)},
+		},
+		PaperRows: [][]string{
+			{"collision", "true"},
+			{"collision time (s)", "23.4"},
+		},
+		Notes: []string{
+			"miss ratio starts rising after the t=5s braking event as the O(n^3) fusion inflates (Fig. 4(a))",
+			"series miss_ratio/gap/speed_diff regenerate both panels of Fig. 4",
+		},
+		Series: r.Rec,
+	}
+	return rep, nil
+}
+
+func avgRatio(ratios []float64, from, to int) float64 {
+	n, sum := 0, 0.0
+	for i := from; i < to && i < len(ratios); i++ {
+		sum += ratios[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Fig5ToySchedule reproduces the §II toy example: three tasks with three
+// releases each (1 s execution each) on one processor. The adaptive
+// (deadline-driven) schedule emits the three control commands at t = 7, 8,
+// 9 s; the performance-preferred schedule groups by control cycle and emits
+// them at t = 3, 6, 9 s. HCPerf's γ mechanism produces exactly the
+// preferred grouping when the static priorities encode the cycle index.
+func Fig5ToySchedule(int64) (*Report, error) {
+	type toyJob struct {
+		name     string
+		cycle    int
+		deadline float64
+	}
+	jobs := []toyJob{
+		{name: "t1-1", cycle: 1, deadline: 1}, {name: "t1-2", cycle: 2, deadline: 4}, {name: "t1-3", cycle: 3, deadline: 7},
+		{name: "t2-1", cycle: 1, deadline: 8}, {name: "t2-2", cycle: 2, deadline: 9}, {name: "t2-3", cycle: 3, deadline: 10},
+		{name: "t3-1", cycle: 1, deadline: 11}, {name: "t3-2", cycle: 2, deadline: 12}, {name: "t3-3", cycle: 3, deadline: 13},
+	}
+	const exec = 1.0
+
+	ready := func() []*sched.Job {
+		out := make([]*sched.Job, len(jobs))
+		for i, j := range jobs {
+			out[i] = &sched.Job{
+				Task: &dag.Task{
+					ID:          dag.TaskID(i),
+					Name:        j.name,
+					Priority:    j.cycle, // cycle-indexed priority
+					RelDeadline: simtime.Duration(j.deadline),
+					Exec:        exectime.Constant(exec),
+				},
+				Release:     0,
+				AbsDeadline: simtime.Time(j.deadline),
+				EstExec:     exec,
+			}
+		}
+		return out
+	}
+
+	// runSchedule executes the 9 jobs sequentially on one processor under
+	// the given policy and returns each control cycle's completion time
+	// (a cycle's command fires when its t1/t2/t3 jobs are all done).
+	runSchedule := func(policy sched.Scheduler) []float64 {
+		queue := ready()
+		st := &sched.ProcState{NumProcs: 1, Remaining: []simtime.Duration{0}}
+		now := simtime.Time(0)
+		remaining := map[int]int{1: 3, 2: 3, 3: 3}
+		var cmdTimes []float64
+		for len(queue) > 0 {
+			idx := policy.Select(now, queue, 0, st)
+			if idx < 0 {
+				break
+			}
+			j := queue[idx]
+			queue = append(queue[:idx], queue[idx+1:]...)
+			now += simtime.Duration(exec)
+			cycle := j.Task.Priority
+			remaining[cycle]--
+			if remaining[cycle] == 0 {
+				cmdTimes = append(cmdTimes, float64(now))
+			}
+		}
+		sort.Float64s(cmdTimes)
+		return cmdTimes
+	}
+
+	adaptive := runSchedule(sched.EDF{})
+	dyn := sched.NewDynamic(100)
+	dyn.SetNominalU(100)
+	dyn.Recompute(0, nil, &sched.ProcState{NumProcs: 1, Remaining: []simtime.Duration{0}})
+	preferred := runSchedule(dyn)
+
+	rep := &Report{
+		ID:     "fig5",
+		Title:  "Toy schedule: adaptive vs performance-preferred control-command times",
+		Header: []string{"schedule", "cmd1 (s)", "cmd2 (s)", "cmd3 (s)"},
+		Rows: [][]string{
+			append([]string{"adaptive (EDF)"}, fmtTimes(adaptive)...),
+			append([]string{"preferred (HCPerf γ-grouped)"}, fmtTimes(preferred)...),
+		},
+		PaperRows: [][]string{
+			{"adaptive (Fig. 5(a))", "7", "8", "9"},
+			{"preferred (Fig. 5(b))", "3", "6", "9"},
+		},
+	}
+	return rep, nil
+}
+
+func fmtTimes(ts []float64) []string {
+	out := make([]string, 3)
+	for i := range out {
+		if i < len(ts) {
+			out[i] = fmtF(ts[i], 0)
+		} else {
+			out[i] = "-"
+		}
+	}
+	return out
+}
+
+// Fig12ExecTimes reproduces the execution-time characterisation: sampled
+// execution times of representative tasks across scene complexities,
+// showing the O(n^3) fusion blow-up and the linear detection growth.
+func Fig12ExecTimes(seed int64) (*Report, error) {
+	g, err := dag.ADGraph23()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tasks := []string{"image_preproc", "camera_detection", "sensor_fusion", "object_tracking"}
+	scenes := []int{5, 10, 15, 20, 25}
+	rec := trace.NewRecorder()
+
+	rows := make([][]string, 0, len(tasks))
+	for _, name := range tasks {
+		t := g.TaskByName(name)
+		if t == nil {
+			return nil, fmt.Errorf("experiment: unknown task %q", name)
+		}
+		row := []string{name}
+		for _, n := range scenes {
+			sum := 0.0
+			const samples = 200
+			for i := 0; i < samples; i++ {
+				d := t.Exec.Sample(rng, 0, exectime.Scene{Obstacles: n, LoadFactor: 1})
+				sum += float64(d)
+				if err := rec.Add(name, float64(n)+float64(i)/samples, float64(d)*1000); err != nil {
+					return nil, err
+				}
+			}
+			row = append(row, fmtF(sum/samples*1000, 2))
+		}
+		rows = append(rows, row)
+	}
+	return &Report{
+		ID:     "fig12",
+		Title:  "Task execution times vs scene complexity (ms, mean of 200 samples)",
+		Header: []string{"task", "n=5", "n=10", "n=15", "n=20", "n=25"},
+		Rows:   rows,
+		Notes: []string{
+			"sensor_fusion grows O(n^3) via Hungarian matching; detection/tracking grow linearly; preprocessing is scene-independent",
+			"the paper's Fig. 12 reports the same qualitative spread measured on a Jetson TX2",
+		},
+		Series: rec,
+	}, nil
+}
+
+// Fig13CarFollowing reproduces the car-following evaluation's time series:
+// speeds, speed error, distance error and per-second deadline-miss ratio
+// for all five schemes (Fig. 13(a)-(d)).
+func Fig13CarFollowing(seed int64) (*Report, error) {
+	results, err := simCarFollowing(seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	rows := make([][]string, 0, len(results))
+	for _, s := range scenario.AllSchemes() {
+		r := results[s]
+		for _, name := range []string{"follow_speed", "speed_err", "dist_err", "miss_ratio"} {
+			src := r.Rec.Series(name)
+			for _, p := range src.Samples {
+				if err := rec.Add(s.String()+"/"+name, p.T, p.V); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rows = append(rows, []string{
+			s.String(),
+			fmtF(r.SpeedErrRMS, 3),
+			fmtF(r.DistErrRMS, 3),
+			fmtF(r.Miss.MeanRatio(), 3),
+			fmtF(r.Throughput, 1),
+			fmtF(r.MaxCommandGap*1000, 0),
+			fmt.Sprintf("%t", r.WeaklyHard.Holds()),
+		})
+	}
+	lead := results[scenario.SchemeHCPerf].Rec.Series("lead_speed")
+	for _, p := range lead.Samples {
+		if err := rec.Add("lead_speed", p.T, p.V); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{
+		ID:     "fig13",
+		Title:  "Car following (sine lead, complex-scene episode t in [10,80))",
+		Header: []string{"scheme", "speed RMS (m/s)", "dist RMS (m)", "miss ratio", "cmds/s", "max cmd gap (ms)", "(1,10) weakly-hard"},
+		Rows:   rows,
+		Notes: []string{
+			"HCPerf recovers its miss ratio to ~0 shortly after the load steps at t=10s and t=80s; baselines sustain misses through the episode (Fig. 13(d))",
+			"extension columns: the longest actuator starvation stretch between commands, and the (1,10) weakly-hard constraint over decided control jobs",
+		},
+		Series: rec,
+	}, nil
+}
+
+// Table2SpeedRMS reproduces Table II: RMS speed tracking error of the five
+// schemes in the car-following simulation.
+func Table2SpeedRMS(seed int64) (*Report, error) {
+	results, err := simCarFollowing(seed)
+	if err != nil {
+		return nil, err
+	}
+	return rmsTable("table2", "RMS speed tracking error, car following simulation (m/s)",
+		results, func(r *scenario.CarFollowingResult) float64 { return r.SpeedErrRMS }, 3,
+		[]string{"1.02", "0.99", "0.78", "1.28", "0.55"}), nil
+}
+
+// Table3DistanceRMS reproduces Table III: RMS distance tracking error.
+func Table3DistanceRMS(seed int64) (*Report, error) {
+	results, err := simCarFollowing(seed)
+	if err != nil {
+		return nil, err
+	}
+	return rmsTable("table3", "RMS distance tracking error, car following simulation (m)",
+		results, func(r *scenario.CarFollowingResult) float64 { return r.DistErrRMS }, 3,
+		[]string{"12.24", "12.22", "12.07", "12.31", "11.27"}), nil
+}
+
+func rmsTable(id, title string, results map[scenario.Scheme]*scenario.CarFollowingResult,
+	metric func(*scenario.CarFollowingResult) float64, decimals int, paper []string) *Report {
+	header := []string{"metric"}
+	measured := []string{"measured"}
+	paperRow := []string{"paper"}
+	for i, s := range scenario.AllSchemes() {
+		header = append(header, s.String())
+		measured = append(measured, fmtF(metric(results[s]), decimals))
+		paperRow = append(paperRow, paper[i])
+	}
+	return &Report{
+		ID:        id,
+		Title:     title,
+		Header:    header,
+		Rows:      [][]string{measured},
+		PaperRows: [][]string{paperRow},
+		Notes: []string{
+			"absolute magnitudes depend on the substrate's vehicle model and gains; compare orderings and relative gaps",
+		},
+	}
+}
+
+// Fig14LaneKeeping reproduces the loop-driving experiment's offset series
+// (Fig. 14(b)) for all five schemes.
+func Fig14LaneKeeping(seed int64) (*Report, error) {
+	rec := trace.NewRecorder()
+	rows := make([][]string, 0, 5)
+	for _, s := range scenario.AllSchemes() {
+		r, err := scenario.RunLaneKeeping(scenario.LaneKeepingConfig{Scheme: s, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range r.Rec.Series("offset").Samples {
+			if err := rec.Add(s.String()+"/offset", p.T, p.V); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, []string{s.String(), fmtF(r.OffsetRMS, 4), fmtF(r.OffsetMax, 4), fmtF(r.Miss.MeanRatio(), 3)})
+	}
+	return &Report{
+		ID:     "fig14",
+		Title:  "Lane keeping on the oval loop at 5 m/s (one lap)",
+		Header: []string{"scheme", "offset RMS (m)", "offset max (m)", "miss ratio"},
+		Rows:   rows,
+		Notes: []string{
+			"offsets are ~0 on the straights and spike at the four turns, as in Fig. 14(b)",
+		},
+		Series: rec,
+	}, nil
+}
+
+// Table4LateralRMS reproduces Table IV: RMS lateral offset error.
+func Table4LateralRMS(seed int64) (*Report, error) {
+	header := []string{"metric"}
+	measured := []string{"measured"}
+	paper := []string{"paper"}
+	paperVals := []string{"0.093", "0.075", "0.051", "0.159", "0.027"}
+	for i, s := range scenario.AllSchemes() {
+		r, err := scenario.RunLaneKeeping(scenario.LaneKeepingConfig{Scheme: s, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		header = append(header, s.String())
+		measured = append(measured, fmtF(r.OffsetRMS, 4))
+		paper = append(paper, paperVals[i])
+	}
+	return &Report{
+		ID:        "table4",
+		Title:     "RMS lateral offset error, lane keeping (m)",
+		Header:    header,
+		Rows:      [][]string{measured},
+		PaperRows: [][]string{paper},
+		Notes: []string{
+			"our EDF and EDF-VD swap places relative to the paper; HCPerf best and Apollo worst reproduce",
+		},
+	}, nil
+}
+
+func hardwareResults(seed int64) (map[scenario.Scheme]*scenario.CarFollowingResult, error) {
+	return runCarFollowingSweep(seed, func(s scenario.Scheme) (scenario.CarFollowingConfig, error) {
+		return scenario.HardwareCarFollowingConfig(s, seed)
+	})
+}
+
+// Fig15Hardware reproduces the hardware-testbed car-following run: speed
+// records, speed error, distance error and per-second miss ratio on the
+// emulated 1:10-scale cars.
+func Fig15Hardware(seed int64) (*Report, error) {
+	results, err := hardwareResults(seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	rows := make([][]string, 0, len(results))
+	for _, s := range scenario.AllSchemes() {
+		r := results[s]
+		for _, name := range []string{"follow_speed", "speed_err", "dist_err", "miss_ratio"} {
+			for _, p := range r.Rec.Series(name).Samples {
+				if err := rec.Add(s.String()+"/"+name, p.T, p.V); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rows = append(rows, []string{
+			s.String(), fmtF(r.SpeedErrRMS, 4), fmtF(r.DistErrRMS, 4), fmtF(r.Miss.MeanRatio(), 3),
+		})
+	}
+	return &Report{
+		ID:     "fig15",
+		Title:  "Hardware testbed emulation: scaled cars, accel 5s / cruise 10s / decel 5s",
+		Header: []string{"scheme", "speed RMS (m/s)", "dist RMS (m)", "miss ratio"},
+		Rows:   rows,
+		Notes: []string{
+			"substitution: the 1:10-scale cars are emulated with the scaled-car plant, sensing noise and throttle lag (DESIGN.md §5)",
+			"baselines sustain misses of a few percent; HCPerf returns to ~0 after the initial adjustment (Fig. 15(d))",
+		},
+		Series: rec,
+	}, nil
+}
+
+// Table5HardwareSpeedRMS reproduces Table V.
+func Table5HardwareSpeedRMS(seed int64) (*Report, error) {
+	results, err := hardwareResults(seed)
+	if err != nil {
+		return nil, err
+	}
+	return rmsTable("table5", "RMS speed tracking error, hardware testbed (m/s)",
+		results, func(r *scenario.CarFollowingResult) float64 { return r.SpeedErrRMS }, 4,
+		[]string{"0.015", "0.013", "0.012", "0.021", "0.009"}), nil
+}
+
+// Table6HardwareDistRMS reproduces Table VI.
+func Table6HardwareDistRMS(seed int64) (*Report, error) {
+	results, err := hardwareResults(seed)
+	if err != nil {
+		return nil, err
+	}
+	return rmsTable("table6", "RMS distance tracking error, hardware testbed (m)",
+		results, func(r *scenario.CarFollowingResult) float64 { return r.DistErrRMS }, 4,
+		[]string{"0.084", "0.083", "0.072", "0.117", "0.063"}), nil
+}
+
+// Fig16DrivingProcess reproduces the overall driving process of the
+// traffic-jam episode (Fig. 16): the two cars' speeds and the shrinking
+// gap as the lead brakes into the jam and accelerates out of it.
+func Fig16DrivingProcess(seed int64) (*Report, error) {
+	cfg, err := scenario.JamCarFollowingConfig(scenario.SchemeHCPerf, seed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := scenario.RunCarFollowing(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lead := r.Rec.Series("lead_speed")
+	fol := r.Rec.Series("follow_speed")
+	gap := r.Rec.Series("gap")
+	rows := [][]string{
+		{"cruise (t<10s)", fmtF(lead.Mean(2, 10), 1), fmtF(fol.Mean(2, 10), 1), fmtF(gap.Mean(2, 10), 1)},
+		{"jam (t in [10,20))", fmtF(lead.Mean(10, 20), 1), fmtF(fol.Mean(10, 20), 1), fmtF(gap.Mean(10, 20), 1)},
+		{"clear (t>=26s)", fmtF(lead.Mean(26, 35), 1), fmtF(fol.Mean(26, 35), 1), fmtF(gap.Mean(26, 35), 1)},
+	}
+	return &Report{
+		ID:     "fig16",
+		Title:  "Driving process of the traffic-jam episode (HCPerf)",
+		Header: []string{"phase", "lead speed (m/s)", "follow speed (m/s)", "gap (m)"},
+		Rows:   rows,
+		PaperRows: [][]string{
+			{"paper", "20 m/s cruise; lead decelerates into the jam at t=10s; clears past t=20s", "", ""},
+		},
+		Notes: []string{
+			"series lead_speed/follow_speed/gap regenerate the Fig. 16 overview; fig17 reports the corresponding error/response/discomfort panels",
+		},
+		Series: r.Rec,
+	}, nil
+}
+
+// Fig17Responsiveness reproduces the §VII-C study: the traffic-jam episode's
+// tracking (gap) error, control response time and passenger discomfort for
+// HCPerf, showing the responsiveness/throughput trade-off.
+func Fig17Responsiveness(seed int64) (*Report, error) {
+	cfg, err := scenario.JamCarFollowingConfig(scenario.SchemeHCPerf, seed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := scenario.RunCarFollowing(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gap := r.Rec.Series("dist_err")
+	resp := r.Rec.Series("response_ms")
+	disc := r.Rec.Series("discomfort")
+	rows := [][]string{
+		{"gap error RMS pre-jam (m)", fmtF(gap.RMS(0, 10), 2)},
+		{"gap error RMS in jam (m)", fmtF(gap.RMS(10, 20), 2)},
+		{"gap error RMS post-jam (m)", fmtF(gap.RMS(28, 35), 2)},
+		{"peak |gap error| (m)", fmtF(gap.MaxAbs(0, 35), 2)},
+		{"mean response pre-jam (ms)", fmtF(resp.Mean(0, 10), 1)},
+		{"mean response in jam (ms)", fmtF(resp.Mean(10, 20), 1)},
+		{"discomfort in jam", fmtF(disc.Mean(10, 20), 2)},
+		{"discomfort post-jam", fmtF(disc.Mean(28, 35), 2)},
+	}
+	return &Report{
+		ID:     "fig17",
+		Title:  "Responsiveness vs throughput during a traffic-jam episode (HCPerf)",
+		Header: []string{"quantity", "value"},
+		Rows:   rows,
+		PaperRows: [][]string{
+			{"tracking error at t=10s (m)", "~5, mitigated to ~2 by t=12s"},
+			{"response time", "drops while error is high; discomfort transiently rises"},
+			{"after t=20s", "throughput restored, discomfort reduced"},
+		},
+		Notes: []string{
+			"series dist_err/response_ms/discomfort/throughput regenerate the three panels of Fig. 17",
+		},
+		Series: r.Rec,
+	}, nil
+}
+
+// Fig18Ablation reproduces the ablation: full HCPerf vs the internal
+// coordinator alone (no Task Rate Adapter).
+func Fig18Ablation(seed int64) (*Report, error) {
+	full, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{Scheme: scenario.SchemeHCPerf, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	internal, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{Scheme: scenario.SchemeHCPerfInternal, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	for label, r := range map[string]*scenario.CarFollowingResult{"full": full, "internal": internal} {
+		for _, name := range []string{"speed_err", "miss_ratio"} {
+			for _, p := range r.Rec.Series(name).Samples {
+				if err := rec.Add(label+"/"+name, p.T, p.V); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	rows := [][]string{
+		{"full", fmtF(full.SpeedErrRMS, 3), fmtF(full.DistErrRMS, 3), fmtF(full.Miss.MeanRatio(), 3)},
+		{"internal-only", fmtF(internal.SpeedErrRMS, 3), fmtF(internal.DistErrRMS, 3), fmtF(internal.Miss.MeanRatio(), 3)},
+	}
+	return &Report{
+		ID:     "fig18",
+		Title:  "Ablation: full HCPerf vs internal coordinator only",
+		Header: []string{"variant", "speed RMS (m/s)", "dist RMS (m)", "miss ratio"},
+		Rows:   rows,
+		PaperRows: [][]string{
+			{"paper", "full shows smaller speed fluctuation; internal-only keeps a residual miss ratio; full is 0.5 m better on final distance error"},
+		},
+		Series: rec,
+	}, nil
+}
+
+// OverheadAnalysis reproduces §VII-E: the coordinator's own computation
+// cost per coordination step, measured in wall-clock time during a full
+// car-following run.
+func OverheadAnalysis(seed int64) (*Report, error) {
+	r, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{Scheme: scenario.SchemeHCPerf, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	oh := r.Overhead
+	// The internal coordinator runs at 10 Hz and the external at 1 Hz:
+	// 11 steps per second of driving.
+	perSecond := oh.Mean() * 11
+	rows := [][]string{
+		{"coordinator steps", fmt.Sprintf("%d", oh.N())},
+		{"mean per step (µs)", fmtF(oh.Mean()*1e6, 1)},
+		{"max per step (µs)", fmtF(oh.Max()*1e6, 1)},
+		{"cost per 1 s period (ms)", fmtF(perSecond*1000, 3)},
+	}
+	return &Report{
+		ID:     "overhead",
+		Title:  "Coordinator computation overhead (wall clock)",
+		Header: []string{"quantity", "value"},
+		Rows:   rows,
+		PaperRows: [][]string{
+			{"paper", "< 5 ms per 1 s period on a Core i3"},
+		},
+	}, nil
+}

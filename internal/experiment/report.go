@@ -1,0 +1,152 @@
+// Package experiment regenerates every table and figure of the HCPerf
+// evaluation (paper §VII). Each experiment is a named, seeded, deterministic
+// run that returns a Report holding paper-style rows next to the values the
+// paper published, plus the raw time series needed to re-plot the figures.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hcperf/internal/trace"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the registry key, e.g. "table2" or "fig13".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header labels the measured columns.
+	Header []string
+	// Rows holds the measured values, one row per scheme or condition.
+	Rows [][]string
+	// PaperRows holds the corresponding values published in the paper
+	// (empty when the paper gives no directly comparable numbers).
+	PaperRows [][]string
+	// Notes records deviations, substitutions and interpretation hints.
+	Notes []string
+	// Series holds raw time series for figure regeneration (may be nil).
+	Series *trace.Recorder
+}
+
+// WriteText renders the report for terminals.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		writeTable(&b, "measured", r.Header, r.Rows)
+	}
+	if len(r.PaperRows) > 0 {
+		writeTable(&b, "paper", r.Header, r.PaperRows)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeTable(b *strings.Builder, label string, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(b, "[%s]\n", label)
+	for i, h := range header {
+		fmt.Fprintf(b, "%-*s  ", widths[i], h)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(b, "%-*s  ", widths[i], cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+}
+
+// WriteCSV writes the report's series (if any) to dir/<id>.csv and its
+// measured rows to dir/<id>_rows.csv.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	if r.Series != nil {
+		f, err := os.Create(filepath.Join(dir, r.ID+".csv"))
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		defer f.Close()
+		if err := r.Series.WriteCSV(f); err != nil {
+			return err
+		}
+	}
+	if len(r.Rows) > 0 {
+		f, err := os.Create(filepath.Join(dir, r.ID+"_rows.csv"))
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		defer f.Close()
+		rows := append([][]string{r.Header}, r.Rows...)
+		for _, row := range rows {
+			if _, err := fmt.Fprintln(f, strings.Join(row, ",")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Func runs one experiment with the given base seed.
+type Func func(seed int64) (*Report, error)
+
+// registry maps experiment IDs to their implementations.
+var registry = map[string]Func{
+	"fig4":     Fig4Motivation,
+	"fig5":     Fig5ToySchedule,
+	"fig12":    Fig12ExecTimes,
+	"fig13":    Fig13CarFollowing,
+	"table2":   Table2SpeedRMS,
+	"table3":   Table3DistanceRMS,
+	"fig14":    Fig14LaneKeeping,
+	"table4":   Table4LateralRMS,
+	"fig15":    Fig15Hardware,
+	"table5":   Table5HardwareSpeedRMS,
+	"table6":   Table6HardwareDistRMS,
+	"fig16":    Fig16DrivingProcess,
+	"fig17":    Fig17Responsiveness,
+	"fig18":    Fig18Ablation,
+	"overhead": OverheadAnalysis,
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, seed int64) (*Report, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return f(seed)
+}

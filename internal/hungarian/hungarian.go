@@ -1,0 +1,166 @@
+// Package hungarian implements the Hungarian (Kuhn-Munkres) assignment
+// algorithm in O(n^3).
+//
+// HCPerf's motivating observation is that the configurable sensor-fusion
+// task runs Hungarian matching over the n obstacles detected at runtime, so
+// its execution time scales with scene complexity. This package provides
+// both the real algorithm (used by the execution-time model and the
+// wall-clock "hardware" executor to generate genuinely scene-dependent
+// compute) and a cost-model helper used by the discrete-event simulator.
+package hungarian
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSquare is returned when the cost matrix is ragged or empty rows are
+// mixed with non-empty ones.
+var ErrNotSquare = errors.New("hungarian: cost matrix must be square")
+
+// Solve computes a minimum-cost perfect matching on the square cost matrix
+// cost (cost[i][j] = cost of assigning row i to column j). It returns the
+// assignment as a slice where assignment[i] is the column matched to row i,
+// along with the total cost.
+//
+// The implementation is the classic O(n^3) potential-based algorithm.
+// An empty matrix yields an empty assignment and zero cost.
+func Solve(cost [][]float64) (assignment []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("%w: row %d has %d columns, want %d", ErrNotSquare, i, len(row), n)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) {
+				return nil, 0, fmt.Errorf("hungarian: NaN cost at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Potentials u (rows) and v (columns), and matching p: p[j] = row
+	// matched to column j. Index 0 is a sentinel; rows/cols are 1-based
+	// internally.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	assignment = make([]int, n)
+	for j := 1; j <= n; j++ {
+		assignment[p[j]-1] = j - 1
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][assignment[i]]
+	}
+	return assignment, total, nil
+}
+
+// SolveRect computes a minimum-cost matching for a rectangular rows x cols
+// cost matrix by padding the smaller dimension with zero-cost dummies.
+// assignment[i] is the column matched to row i, or -1 if row i is matched
+// to a dummy column.
+func SolveRect(cost [][]float64) (assignment []int, total float64, err error) {
+	rows := len(cost)
+	if rows == 0 {
+		return nil, 0, nil
+	}
+	cols := len(cost[0])
+	for i, row := range cost {
+		if len(row) != cols {
+			return nil, 0, fmt.Errorf("%w: row %d has %d columns, want %d", ErrNotSquare, i, len(row), cols)
+		}
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	padded := make([][]float64, n)
+	for i := range padded {
+		padded[i] = make([]float64, n)
+		if i < rows {
+			copy(padded[i], cost[i])
+		}
+	}
+	full, _, err := Solve(padded)
+	if err != nil {
+		return nil, 0, err
+	}
+	assignment = make([]int, rows)
+	for i := 0; i < rows; i++ {
+		j := full[i]
+		if j >= cols {
+			assignment[i] = -1
+			continue
+		}
+		assignment[i] = j
+		total += cost[i][j]
+	}
+	return assignment, total, nil
+}
+
+// Ops returns the approximate number of elementary operations the O(n^3)
+// algorithm performs for an n x n problem. The execution-time model uses
+// this to convert "n obstacles detected" into simulated compute time; the
+// calibration constant lives in package exectime.
+func Ops(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	f := float64(n)
+	return f * f * f
+}

@@ -1,0 +1,36 @@
+package mfc_test
+
+import (
+	"fmt"
+
+	"hcperf/internal/mfc"
+	"hcperf/internal/simtime"
+)
+
+// A sustained tracking error drives the nominal priority-adjustment signal
+// u upward; when the error clears, u stabilises.
+func Example() {
+	ctrl, err := mfc.New(mfc.Config{
+		Alpha:     -1000,
+		K:         -1,
+		Ts:        100 * simtime.Millisecond,
+		ADEWindow: 500 * simtime.Millisecond,
+		UClamp:    0.04,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var u float64
+	for i := 0; i < 30; i++ {
+		now := simtime.Time(i) * 100 * simtime.Millisecond
+		u, err = ctrl.Step(now, 2.0) // 2 m/s speed tracking error
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Printf("u after sustained error: %.4f (clamped at 0.0400)\n", u)
+	// Output:
+	// u after sustained error: 0.0400 (clamped at 0.0400)
+}

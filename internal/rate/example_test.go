@@ -1,0 +1,38 @@
+package rate_test
+
+import (
+	"fmt"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/rate"
+)
+
+// The Task Rate Adapter sheds load when the deadline-miss ratio exceeds its
+// target and probes upward when the system runs clean.
+func Example() {
+	adapter, err := rate.New(rate.DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	camera := &dag.Task{Name: "camera", Rate: 20, MinRate: 10, MaxRate: 30}
+
+	// Period 1: the system misses 30% of deadlines — shed.
+	props, err := adapter.Step(0.30, map[*dag.Task]float64{camera: 20})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("overloaded: %4.1f Hz -> %4.1f Hz\n", props[0].OldRate, props[0].NewRate)
+
+	// Period 2: no misses — exploit the head-room.
+	props, err = adapter.Step(0, map[*dag.Task]float64{camera: props[0].NewRate})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("clean:      %4.1f Hz -> %4.1f Hz (probing upward)\n", props[0].OldRate, props[0].NewRate)
+	// Output:
+	// overloaded: 20.0 Hz -> 15.3 Hz
+	// clean:      15.3 Hz -> 15.4 Hz (probing upward)
+}

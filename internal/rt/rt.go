@@ -1,0 +1,642 @@
+// Package rt is the wall-clock counterpart of the discrete-event engine: a
+// goroutine-based real-time executor that runs the same task graphs under
+// the same scheduling policies on actual time, standing in for the paper's
+// 1:10-scale hardware testbed (DESIGN.md §5 substitution).
+//
+// Semantics mirror package engine: source tasks fire on wall-clock tickers
+// and deliver off-CPU after their capture latency; derived tasks are
+// data-triggered by their primary predecessor; jobs respect per-task
+// relative deadlines, end-to-end budgets and the input-age validity bound.
+// Execution is emulated either by sleeping for the sampled duration
+// (default; timing-accurate and cheap) or by busy work running real
+// Hungarian matching over the scene's obstacles (Busy mode; generates
+// genuinely scene-dependent CPU load).
+//
+// The executor coordinates with the same mfc and rate controllers as the
+// simulation when a tracking-error source is configured, so HCPerf's full
+// hierarchy runs on wall clock too.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/exectime"
+	"hcperf/internal/hungarian"
+	"hcperf/internal/mfc"
+	"hcperf/internal/rate"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+)
+
+// ControlCommand mirrors engine.ControlCommand for wall-clock runs.
+type ControlCommand struct {
+	Task       *dag.Task
+	Cycle      uint64
+	Release    simtime.Time
+	Completed  simtime.Time
+	SourceTime simtime.Time
+}
+
+// ResponseTime returns release-to-completion latency.
+func (c ControlCommand) ResponseTime() simtime.Duration { return c.Completed - c.Release }
+
+// EndToEndLatency returns sensing-to-actuation latency.
+func (c ControlCommand) EndToEndLatency() simtime.Duration { return c.Completed - c.SourceTime }
+
+// Stats aggregates executor-wide outcomes.
+type Stats struct {
+	Released        uint64
+	Completed       uint64
+	Missed          uint64
+	Expired         uint64
+	ControlCommands uint64
+	E2EDecided      uint64
+	E2EMissed       uint64
+}
+
+// MissRatio returns misses over decided jobs.
+func (s Stats) MissRatio() float64 {
+	decided := s.Completed + s.Missed
+	if decided == 0 {
+		return 0
+	}
+	return float64(s.Missed) / float64(decided)
+}
+
+// E2EMissRatio returns the control-job miss ratio.
+func (s Stats) E2EMissRatio() float64 {
+	if s.E2EDecided == 0 {
+		return 0
+	}
+	return float64(s.E2EMissed) / float64(s.E2EDecided)
+}
+
+// Config configures an Executor.
+type Config struct {
+	// Graph is the validated task graph to execute.
+	Graph *dag.Graph
+	// Scheduler is the dispatch policy (pass a *sched.Dynamic to enable
+	// HCPerf coordination together with TrackingError).
+	Scheduler sched.Scheduler
+	// NumProcs is the worker count (M >= 1).
+	NumProcs int
+	// Seed seeds execution-time sampling.
+	Seed int64
+	// Scene supplies the runtime scene by wall-clock offset; nil means
+	// exectime.NominalScene.
+	Scene func(elapsed simtime.Time) exectime.Scene
+	// Busy selects busy-work execution (real Hungarian matching) instead
+	// of sleeping.
+	Busy bool
+	// MaxDataAge bounds input ages as in the engine (0 disables).
+	MaxDataAge simtime.Duration
+	// OnControl observes emitted control commands (called off the worker
+	// goroutines' critical section but potentially concurrently).
+	OnControl func(cmd ControlCommand)
+	// TrackingError, when set together with a *sched.Dynamic scheduler,
+	// enables the HCPerf coordinators on wall clock.
+	TrackingError func(elapsed simtime.Time) float64
+	// DisableExternal turns off the Task Rate Adapter.
+	DisableExternal bool
+	// ControlPeriod is the internal-coordinator period (default 100 ms).
+	ControlPeriod time.Duration
+	// AdaptPeriod is the external-coordinator period (default 1 s).
+	AdaptPeriod time.Duration
+}
+
+type edgeKey struct{ from, to dag.TaskID }
+
+type edgeState struct {
+	fresh      bool
+	has        bool
+	sourceTime simtime.Time
+	producedAt simtime.Time
+}
+
+// Executor runs a task graph on wall-clock time.
+type Executor struct {
+	cfg   Config
+	graph *dag.Graph
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    []*sched.Job
+	edges    map[edgeKey]*edgeState
+	observed []simtime.Duration
+	cycles   []uint64
+	rates    []float64
+	running  []simtime.Time // per-worker expected finish (elapsed time)
+	budgets  []simtime.Duration
+	stats    Stats
+	rng      *rand.Rand
+	stopped  bool
+
+	start   time.Time
+	started bool
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
+
+	pdc     *mfc.Controller
+	adapter *rate.Adapter
+	dyn     *sched.Dynamic
+}
+
+// New validates cfg and builds an executor.
+func New(cfg Config) (*Executor, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("rt: nil graph")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("rt: nil scheduler")
+	}
+	if cfg.NumProcs < 1 {
+		return nil, fmt.Errorf("rt: NumProcs %d < 1", cfg.NumProcs)
+	}
+	if cfg.Scene == nil {
+		cfg.Scene = func(simtime.Time) exectime.Scene { return exectime.NominalScene() }
+	}
+	if cfg.ControlPeriod <= 0 {
+		cfg.ControlPeriod = 100 * time.Millisecond
+	}
+	if cfg.AdaptPeriod <= 0 {
+		cfg.AdaptPeriod = time.Second
+	}
+	n := cfg.Graph.Len()
+	e := &Executor{
+		cfg:      cfg,
+		graph:    cfg.Graph,
+		edges:    make(map[edgeKey]*edgeState),
+		observed: make([]simtime.Duration, n),
+		cycles:   make([]uint64, n),
+		rates:    make([]float64, n),
+		running:  make([]simtime.Time, cfg.NumProcs),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stopCh:   make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for _, t := range cfg.Graph.Tasks() {
+		e.observed[t.ID] = t.Exec.Nominal()
+		e.rates[t.ID] = t.Rate
+		for _, s := range cfg.Graph.Successors(t.ID) {
+			e.edges[edgeKey{from: t.ID, to: s}] = &edgeState{}
+		}
+	}
+	topo, err := cfg.Graph.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	e.budgets = make([]simtime.Duration, n)
+	for _, id := range topo {
+		var longest simtime.Duration
+		for _, p := range cfg.Graph.Predecessors(id) {
+			if e.budgets[p] > longest {
+				longest = e.budgets[p]
+			}
+		}
+		e.budgets[id] = longest + cfg.Graph.Task(id).RelDeadline
+	}
+	if cfg.TrackingError != nil {
+		dyn, ok := cfg.Scheduler.(*sched.Dynamic)
+		if !ok {
+			return nil, errors.New("rt: TrackingError requires a *sched.Dynamic scheduler")
+		}
+		e.dyn = dyn
+		pdc, err := mfc.New(mfcConfigFor(cfg.ControlPeriod, dyn.GammaCap))
+		if err != nil {
+			return nil, fmt.Errorf("rt: %w", err)
+		}
+		e.pdc = pdc
+		if !cfg.DisableExternal {
+			adapter, err := rate.New(rate.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("rt: %w", err)
+			}
+			e.adapter = adapter
+		}
+	}
+	return e, nil
+}
+
+func mfcConfigFor(period time.Duration, gammaCap float64) mfc.Config {
+	cfg := mfc.DefaultConfig()
+	cfg.Ts = simtime.FromDuration(period)
+	cfg.ADEWindow = 5 * cfg.Ts
+	cfg.Alpha = -2 * 10 / gammaCap
+	cfg.UClamp = 2 * gammaCap
+	return cfg
+}
+
+// Start launches workers, source tickers and (if configured) coordinators.
+func (e *Executor) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return errors.New("rt: already started")
+	}
+	e.started = true
+	e.start = time.Now()
+	for w := 0; w < e.cfg.NumProcs; w++ {
+		e.wg.Add(1)
+		go e.worker(w)
+	}
+	for _, src := range e.graph.Sources() {
+		e.wg.Add(1)
+		go e.sourceLoop(src.ID)
+	}
+	if e.pdc != nil {
+		e.wg.Add(1)
+		go e.controlLoop()
+	}
+	if e.adapter != nil {
+		e.wg.Add(1)
+		go e.adaptLoop()
+	}
+	return nil
+}
+
+// Stop halts all goroutines and waits for them to exit.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	close(e.stopCh)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Elapsed returns the wall-clock time since Start.
+func (e *Executor) Elapsed() simtime.Time {
+	return simtime.Time(time.Since(e.start).Seconds())
+}
+
+// SetSourceRate retunes a source rate (clamped to the task's range).
+func (e *Executor) SetSourceRate(id dag.TaskID, hz float64) (float64, error) {
+	t := e.graph.Task(id)
+	if t == nil {
+		return 0, fmt.Errorf("rt: unknown task %d", id)
+	}
+	if t.MaxRate > 0 {
+		if hz < t.MinRate {
+			hz = t.MinRate
+		}
+		if hz > t.MaxRate {
+			hz = t.MaxRate
+		}
+	} else {
+		hz = t.Rate
+	}
+	if hz <= 0 {
+		return 0, fmt.Errorf("rt: non-positive rate for %q", t.Name)
+	}
+	e.mu.Lock()
+	e.rates[id] = hz
+	e.mu.Unlock()
+	return hz, nil
+}
+
+// sourceLoop emulates one sensor: periodic captures at the (adjustable)
+// source rate, delivering after the sampled capture latency.
+func (e *Executor) sourceLoop(id dag.TaskID) {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		period := time.Duration(float64(time.Second) / e.rates[id])
+		e.mu.Unlock()
+		select {
+		case <-e.stopCh:
+			return
+		case <-time.After(period):
+		}
+		now := e.Elapsed()
+		e.mu.Lock()
+		t := e.graph.Task(id)
+		e.cycles[id]++
+		j := &sched.Job{
+			Task:        t,
+			Cycle:       e.cycles[id],
+			Release:     now,
+			AbsDeadline: now + t.RelDeadline,
+			EstExec:     e.observed[id],
+			SourceTime:  now,
+		}
+		e.stats.Released++
+		e.stats.Completed++ // captures never miss
+		latency := t.Exec.Sample(e.rng, now, e.cfg.Scene(now))
+		e.mu.Unlock()
+		if latency > 0 {
+			select {
+			case <-e.stopCh:
+				return
+			case <-time.After(latency.ToDuration()):
+			}
+		}
+		e.mu.Lock()
+		e.propagateLocked(e.Elapsed(), j)
+		e.mu.Unlock()
+	}
+}
+
+// worker is one processor: it waits for an eligible job, runs it to
+// completion and finalises it.
+func (e *Executor) worker(w int) {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		var j *sched.Job
+		for {
+			if e.stopped {
+				e.mu.Unlock()
+				return
+			}
+			now := e.Elapsed()
+			e.purgeExpiredLocked(now)
+			idx := -1
+			if len(e.ready) > 0 {
+				idx = e.cfg.Scheduler.Select(now, e.ready, w, e.procStateLocked(now))
+			}
+			if idx >= 0 {
+				j = e.ready[idx]
+				e.ready = append(e.ready[:idx], e.ready[idx+1:]...)
+				break
+			}
+			e.cond.Wait()
+		}
+		now := e.Elapsed()
+		actual := j.Task.Exec.Sample(e.rng, now, e.cfg.Scene(now))
+		if actual < 0 {
+			actual = 0
+		}
+		e.running[w] = now + actual
+		e.mu.Unlock()
+
+		e.execute(actual, now)
+
+		done := e.Elapsed()
+		e.mu.Lock()
+		e.running[w] = 0
+		e.observed[j.Task.ID] = done - now
+		if done <= j.AbsDeadline {
+			e.stats.Completed++
+			e.propagateLocked(done, j)
+		} else {
+			e.stats.Missed++
+			if j.Task.IsControl {
+				e.stats.E2EDecided++
+				e.stats.E2EMissed++
+			}
+		}
+		e.notifyObserverLocked(done)
+		e.mu.Unlock()
+	}
+}
+
+// execute burns the sampled duration: by sleeping, or by real Hungarian
+// matching sized to the scene in Busy mode.
+func (e *Executor) execute(d simtime.Duration, now simtime.Time) {
+	if d <= 0 {
+		return
+	}
+	if !e.cfg.Busy {
+		select {
+		case <-e.stopCh:
+		case <-time.After(d.ToDuration()):
+		}
+		return
+	}
+	deadline := time.Now().Add(d.ToDuration())
+	n := e.cfg.Scene(now).Obstacles
+	if n < 4 {
+		n = 4
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for k := range cost[i] {
+			cost[i][k] = float64((i*31 + k*17) % 97)
+		}
+	}
+	for time.Now().Before(deadline) {
+		if _, _, err := hungarian.Solve(cost); err != nil {
+			return // unreachable with a well-formed matrix
+		}
+	}
+}
+
+func (e *Executor) procStateLocked(now simtime.Time) *sched.ProcState {
+	st := &sched.ProcState{
+		NumProcs:  e.cfg.NumProcs,
+		Remaining: make([]simtime.Duration, e.cfg.NumProcs),
+	}
+	for i, until := range e.running {
+		if until > now {
+			st.Remaining[i] = until - now
+		}
+	}
+	return st
+}
+
+func (e *Executor) purgeExpiredLocked(now simtime.Time) {
+	kept := e.ready[:0]
+	for _, j := range e.ready {
+		if j.AbsDeadline <= now {
+			e.stats.Missed++
+			e.stats.Expired++
+			if j.Task.IsControl {
+				e.stats.E2EDecided++
+				e.stats.E2EMissed++
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	e.ready = kept
+}
+
+func (e *Executor) notifyObserverLocked(now simtime.Time) {
+	if obs, ok := e.cfg.Scheduler.(interface {
+		Recompute(simtime.Time, []*sched.Job, *sched.ProcState)
+	}); ok {
+		obs.Recompute(now, e.ready, e.procStateLocked(now))
+	}
+}
+
+// propagateLocked mirrors engine.propagate under the executor lock.
+func (e *Executor) propagateLocked(now simtime.Time, j *sched.Job) {
+	if j.Task.IsControl {
+		e.stats.ControlCommands++
+		e.stats.E2EDecided++
+		if e.cfg.OnControl != nil {
+			cmd := ControlCommand{
+				Task:       j.Task,
+				Cycle:      j.Cycle,
+				Release:    j.Release,
+				Completed:  now,
+				SourceTime: j.SourceTime,
+			}
+			e.mu.Unlock()
+			e.cfg.OnControl(cmd)
+			e.mu.Lock()
+		}
+	}
+	for _, succ := range e.graph.Successors(j.Task.ID) {
+		ed := e.edges[edgeKey{from: j.Task.ID, to: succ}]
+		ed.fresh = true
+		ed.has = true
+		ed.sourceTime = j.SourceTime
+		ed.producedAt = now
+		if e.graph.PrimaryPred(succ) == j.Task.ID {
+			e.tryReleaseLocked(now, succ)
+		}
+	}
+	e.notifyObserverLocked(now)
+	e.cond.Broadcast()
+}
+
+func (e *Executor) tryReleaseLocked(now simtime.Time, id dag.TaskID) {
+	preds := e.graph.Predecessors(id)
+	for _, p := range preds {
+		if !e.edges[edgeKey{from: p, to: id}].has {
+			return
+		}
+	}
+	primary := e.edges[edgeKey{from: preds[0], to: id}]
+	if !primary.fresh {
+		return
+	}
+	primary.fresh = false
+	if e.cfg.MaxDataAge > 0 {
+		for _, p := range preds {
+			if now-e.edges[edgeKey{from: p, to: id}].producedAt > e.cfg.MaxDataAge {
+				e.cycles[id]++
+				e.stats.Released++
+				e.stats.Missed++
+				if e.graph.Task(id).IsControl {
+					e.stats.E2EDecided++
+					e.stats.E2EMissed++
+				}
+				return
+			}
+		}
+	}
+	t := e.graph.Task(id)
+	e.cycles[id]++
+	deadline := now + t.RelDeadline
+	if e2e := primary.sourceTime + e.budgets[id]; e2e < deadline {
+		deadline = e2e
+	}
+	if t.E2E > 0 {
+		if e2e := primary.sourceTime + t.E2E; e2e < deadline {
+			deadline = e2e
+		}
+	}
+	j := &sched.Job{
+		Task:        t,
+		Cycle:       e.cycles[id],
+		Release:     now,
+		AbsDeadline: deadline,
+		EstExec:     e.observed[id],
+		SourceTime:  primary.sourceTime,
+	}
+	e.ready = append(e.ready, j)
+	e.stats.Released++
+}
+
+// controlLoop is the wall-clock internal coordinator.
+func (e *Executor) controlLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.ControlPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ticker.C:
+		}
+		now := e.Elapsed()
+		u, err := e.pdc.Step(now, e.cfg.TrackingError(now))
+		if err != nil {
+			continue // wall clock is monotone; spurious only on restart
+		}
+		e.mu.Lock()
+		e.dyn.SetNominalU(u)
+		e.notifyObserverLocked(now)
+		e.mu.Unlock()
+	}
+}
+
+// adaptLoop is the wall-clock external coordinator.
+func (e *Executor) adaptLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.AdaptPeriod)
+	defer ticker.Stop()
+	var last Stats
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ticker.C:
+		}
+		e.mu.Lock()
+		cur := e.stats
+		window := Stats{
+			Completed:  cur.Completed - last.Completed,
+			Missed:     cur.Missed - last.Missed,
+			E2EDecided: cur.E2EDecided - last.E2EDecided,
+			E2EMissed:  cur.E2EMissed - last.E2EMissed,
+		}
+		last = cur
+		regime := 1.0
+		for _, t := range e.graph.Tasks() {
+			nom := float64(t.Exec.Nominal())
+			if nom <= 0 {
+				continue
+			}
+			if r := float64(e.observed[t.ID]) / nom; r > regime {
+				regime = r
+			}
+		}
+		sources := make(map[*dag.Task]float64)
+		for _, s := range e.graph.Sources() {
+			sources[s] = e.rates[s.ID]
+		}
+		e.mu.Unlock()
+
+		miss := window.MissRatio()
+		if e2e := window.E2EMissRatio(); e2e > miss {
+			miss = e2e
+		}
+		miss = math.Min(miss, 1)
+		e.adapter.NoteExecTime(simtime.Duration(regime))
+		proposals, err := e.adapter.Step(miss, sources)
+		if err != nil {
+			continue // empty source sets cannot occur on validated graphs
+		}
+		for _, p := range proposals {
+			if p.NewRate != p.OldRate {
+				if _, err := e.SetSourceRate(p.Task.ID, p.NewRate); err != nil {
+					continue
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package rt
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/exectime"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+)
+
+const ms = simtime.Millisecond
+
+// fastGraph is a small chain with millisecond-scale tasks so wall-clock
+// tests finish quickly.
+func fastGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	g := dag.New()
+	add := func(task dag.Task) {
+		if _, err := g.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(dag.Task{
+		Name: "sensor", Priority: 3, RelDeadline: 30 * ms,
+		Rate: 50, MinRate: 20, MaxRate: 100,
+		Exec: exectime.Constant(0.2 * ms),
+	})
+	add(dag.Task{
+		Name: "perceive", Priority: 2, RelDeadline: 40 * ms,
+		Exec: exectime.Constant(1 * ms),
+	})
+	add(dag.Task{
+		Name: "control", Priority: 1, RelDeadline: 30 * ms, IsControl: true,
+		Exec: exectime.Constant(0.5 * ms),
+	})
+	for _, e := range [][2]string{{"sensor", "perceive"}, {"perceive", "control"}} {
+		if err := g.AddEdgeByName(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := fastGraph(t)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "nil graph", cfg: Config{Scheduler: sched.EDF{}, NumProcs: 1}},
+		{name: "nil scheduler", cfg: Config{Graph: g, NumProcs: 1}},
+		{name: "zero procs", cfg: Config{Graph: g, Scheduler: sched.EDF{}}},
+		{name: "tracking error without dynamic", cfg: Config{
+			Graph: g, Scheduler: sched.EDF{}, NumProcs: 1,
+			TrackingError: func(simtime.Time) float64 { return 0 },
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestPipelineRunsOnWallClock(t *testing.T) {
+	g := fastGraph(t)
+	var cmds atomic.Uint64
+	var lastE2E atomic.Int64
+	ex, err := New(Config{
+		Graph:     g,
+		Scheduler: sched.EDF{},
+		NumProcs:  2,
+		Seed:      1,
+		OnControl: func(cmd ControlCommand) {
+			cmds.Add(1)
+			lastE2E.Store(int64(cmd.EndToEndLatency().ToDuration()))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+	time.Sleep(400 * time.Millisecond)
+	ex.Stop()
+	ex.Stop() // idempotent
+
+	st := ex.Stats()
+	if got := cmds.Load(); got < 5 {
+		t.Errorf("got %d control commands in 400ms at 50 Hz, want >= 5", got)
+	}
+	if st.ControlCommands != cmds.Load() {
+		t.Errorf("counter %d != callback count %d", st.ControlCommands, cmds.Load())
+	}
+	if st.MissRatio() > 0.2 {
+		t.Errorf("miss ratio %.2f on a trivially feasible graph", st.MissRatio())
+	}
+	// End-to-end latency should be a few ms (0.2+1+0.5 plus scheduling).
+	if e2e := time.Duration(lastE2E.Load()); e2e <= 0 || e2e > 100*time.Millisecond {
+		t.Errorf("end-to-end latency %v out of range", e2e)
+	}
+}
+
+func TestDeadlineMissesUnderOverloadWallClock(t *testing.T) {
+	g := dag.New()
+	if _, err := g.AddTask(dag.Task{
+		Name: "sensor", Priority: 2, RelDeadline: 20 * ms,
+		Rate: 100, MinRate: 100, MaxRate: 100,
+		Exec: exectime.Constant(0.1 * ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddTask(dag.Task{
+		Name: "heavy", Priority: 1, RelDeadline: 15 * ms, IsControl: true,
+		Exec: exectime.Constant(25 * ms), // cannot meet its deadline
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeByName("sensor", "heavy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := New(Config{Graph: g, Scheduler: sched.EDF{}, NumProcs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	ex.Stop()
+	if st := ex.Stats(); st.Missed == 0 {
+		t.Errorf("no misses under structural overload: %+v", st)
+	}
+}
+
+func TestSetSourceRateWallClock(t *testing.T) {
+	g := fastGraph(t)
+	ex, err := New(Config{Graph: g, Scheduler: sched.EDF{}, NumProcs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor := g.TaskByName("sensor")
+	got, err := ex.SetSourceRate(sensor.ID, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("rate clamped to %v, want 100", got)
+	}
+	if _, err := ex.SetSourceRate(999, 10); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestHCPerfCoordinationOnWallClock(t *testing.T) {
+	g := fastGraph(t)
+	dyn := sched.NewDynamic(0.02)
+	ex, err := New(Config{
+		Graph:     g,
+		Scheduler: dyn,
+		NumProcs:  2,
+		Seed:      1,
+		// A persistent tracking error drives u upward.
+		TrackingError: func(simtime.Time) float64 { return 2 },
+		ControlPeriod: 20 * time.Millisecond,
+		AdaptPeriod:   100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	ex.Stop()
+	if st := ex.Stats(); st.ControlCommands == 0 {
+		t.Error("no control commands under coordination")
+	}
+	if u := dyn.NominalU(); u <= 0 {
+		t.Errorf("nominal u = %v after sustained error, want > 0", u)
+	}
+	if g := dyn.Gamma(); g < 0 || g > dyn.GammaCap {
+		t.Errorf("γ = %v outside [0, cap]", g)
+	}
+}
+
+func TestBusyModeBurnsSceneDependentTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("busy-wait test")
+	}
+	g := fastGraph(t)
+	ex, err := New(Config{
+		Graph:     g,
+		Scheduler: sched.EDF{},
+		NumProcs:  1,
+		Seed:      1,
+		Busy:      true,
+		Scene: func(simtime.Time) exectime.Scene {
+			return exectime.Scene{Obstacles: 8, LoadFactor: 1}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	ex.Stop()
+	if st := ex.Stats(); st.ControlCommands == 0 {
+		t.Errorf("busy mode produced no commands: %+v", st)
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 || s.E2EMissRatio() != 0 {
+		t.Error("empty stats should report zero ratios")
+	}
+	s = Stats{Completed: 8, Missed: 2, E2EDecided: 4, E2EMissed: 1}
+	if got := s.MissRatio(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("MissRatio = %v, want 0.2", got)
+	}
+	if got := s.E2EMissRatio(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("E2EMissRatio = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,311 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hcperf/internal/core"
+	"hcperf/internal/dag"
+	"hcperf/internal/engine"
+	"hcperf/internal/exectime"
+	"hcperf/internal/metrics"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+	"hcperf/internal/trace"
+	"hcperf/internal/vehicle"
+)
+
+// CombinedConfig parameterises the dual-control extension scenario: the
+// vehicle simultaneously follows a lead car (longitudinal control) and
+// keeps its lane on a winding road (lateral control), running the 24-task
+// dual-sink graph. This goes beyond the paper's single-application
+// evaluations and exercises multi-sink coordination: one tracking-error
+// signal must arbitrate between two control loops.
+type CombinedConfig struct {
+	// Scheme selects the scheduling scheme.
+	Scheme Scheme
+	// Seed drives all scenario randomness.
+	Seed int64
+	// Duration is the simulated span in seconds (default 60).
+	Duration float64
+	// NumProcs is the processor count (default 2).
+	NumProcs int
+	// LeadProfile is the lead's speed profile (default: gentle sine
+	// 12 ± 3 m/s over 9 s).
+	LeadProfile vehicle.SpeedProfile
+	// Curvature maps travelled distance to road curvature (default: a
+	// winding road alternating 25 m-radius bends every 120 m).
+	Curvature func(s float64) float64
+	// Obstacles maps time to obstacle count (default 14).
+	Obstacles func(t float64) int
+	// VehicleStep is the dynamics integration step (default 10 ms).
+	VehicleStep float64
+}
+
+func (c *CombinedConfig) applyDefaults() error {
+	if c.Scheme == 0 {
+		return errors.New("scenario: no scheme selected")
+	}
+	if c.Duration == 0 {
+		c.Duration = 60
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("scenario: non-positive duration %v", c.Duration)
+	}
+	if c.NumProcs == 0 {
+		c.NumProcs = 2
+	}
+	if c.NumProcs < 1 {
+		return fmt.Errorf("scenario: NumProcs %d < 1", c.NumProcs)
+	}
+	if c.LeadProfile == nil {
+		c.LeadProfile = vehicle.SineProfile{Mean: 12, Amp: 3, Period: 9}
+	}
+	if c.Curvature == nil {
+		c.Curvature = func(s float64) float64 {
+			// Alternating gentle bends: 40 m straight, 80 m bend.
+			seg := math.Mod(s, 240)
+			switch {
+			case seg < 40:
+				return 0
+			case seg < 120:
+				return 1.0 / 25
+			case seg < 160:
+				return 0
+			default:
+				return -1.0 / 25
+			}
+		}
+	}
+	if c.Obstacles == nil {
+		c.Obstacles = func(float64) int { return 14 }
+	}
+	if c.VehicleStep == 0 {
+		c.VehicleStep = 0.01
+	}
+	if c.VehicleStep <= 0 {
+		return fmt.Errorf("scenario: non-positive vehicle step %v", c.VehicleStep)
+	}
+	return nil
+}
+
+// CombinedResult aggregates the dual-control outcomes.
+type CombinedResult struct {
+	// Scheme is the scheme that produced this result.
+	Scheme Scheme
+	// Rec holds speed_err, offset, gap, miss_ratio series and gamma/u
+	// for HCPerf schemes.
+	Rec *trace.Recorder
+	// SpeedErrRMS is the longitudinal tracking error RMS (m/s).
+	SpeedErrRMS float64
+	// OffsetRMS is the lateral offset RMS (m).
+	OffsetRMS float64
+	// LonCommands and LatCommands count the per-sink control outputs.
+	LonCommands, LatCommands uint64
+	// Miss holds per-second deadline accounting.
+	Miss *metrics.MissBuckets
+	// EngineStats is the engine's final counter snapshot.
+	EngineStats engine.Stats
+}
+
+// RunCombined executes the dual-control scenario.
+func RunCombined(cfg CombinedConfig) (*CombinedResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	graph, err := dag.ADGraphDualControl()
+	if err != nil {
+		return nil, err
+	}
+	if err := applyRateOverrides(graph, map[string]float64{
+		"camera_front": 10, "camera_traffic_light": 8,
+		"lidar_scan": 10, "radar_scan": 12,
+	}); err != nil {
+		return nil, err
+	}
+	scheduler, dyn, err := buildScheduler(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	q := simtime.NewEventQueue()
+	rec := trace.NewRecorder()
+	_ = rand.New(rand.NewSource(cfg.Seed)) // reserved for future noise hooks
+
+	// Longitudinal world.
+	gains := vehicle.CarFollower{Kv: 5, Kg: 1, StandstillGap: 5, Headway: 1.2}
+	follower, err := vehicle.NewLongitudinal(vehicle.LongitudinalConfig{
+		MaxAccel: 6, MaxBrake: 8, ActuatorTau: 0.1, MaxSpeed: 40,
+	})
+	if err != nil {
+		return nil, err
+	}
+	follower.Speed = cfg.LeadProfile.Speed(0)
+	lead, err := vehicle.NewLead(cfg.LeadProfile, gains.StandstillGap+gains.Headway*follower.Speed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lateral world.
+	latCfg := vehicle.LateralConfig{WheelBase: 2.7, MaxSteer: 0.5, ActuatorTau: 0.08}
+	lat, err := vehicle.NewLateral(latCfg)
+	if err != nil {
+		return nil, err
+	}
+	keeper := vehicle.LaneKeeper{Ky: 0.5, Kpsi: 1.4, WheelBase: latCfg.WheelBase}
+
+	// Full-resolution histories for stale perception.
+	var histLeadSpeed, histLeadPos, histFolPos, histFolSpeed, histOffset, histHeading, histDist trace.Series
+	recordHistory := func(now float64) error {
+		for _, pair := range []struct {
+			s *trace.Series
+			v float64
+		}{
+			{&histLeadSpeed, lead.Speed()},
+			{&histLeadPos, lead.Position},
+			{&histFolPos, follower.Position},
+			{&histFolSpeed, follower.Speed},
+			{&histOffset, lat.Y},
+			{&histHeading, lat.Psi},
+			{&histDist, follower.Position},
+		} {
+			if err := pair.s.Add(now, pair.v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := recordHistory(0); err != nil {
+		return nil, err
+	}
+
+	miss, err := metrics.NewMissBuckets(1)
+	if err != nil {
+		return nil, err
+	}
+
+	var lonCmds, latCmds uint64
+	perceive := func(cmd engine.ControlCommand) {
+		at := float64(cmd.SourceTime)
+		switch cmd.Task.Name {
+		case "lon_control":
+			lonCmds++
+			leadSpd, ok := histLeadSpeed.At(at)
+			if !ok {
+				return
+			}
+			leadPos, _ := histLeadPos.At(at)
+			folPos, _ := histFolPos.At(at)
+			folSpd, _ := histFolSpeed.At(at)
+			follower.SetAccelCommand(gains.Accel(folSpd, leadSpd, leadPos-folPos))
+		case "lat_control":
+			latCmds++
+			offset, ok := histOffset.At(at)
+			if !ok {
+				return
+			}
+			heading, _ := histHeading.At(at)
+			s, _ := histDist.At(at)
+			lat.SetSteerCommand(keeper.Steer(offset, heading, cfg.Curvature(s+0.3*follower.Speed)))
+		}
+	}
+
+	eng, err := engine.New(engine.Config{
+		Graph:      graph,
+		Scheduler:  scheduler,
+		NumProcs:   cfg.NumProcs,
+		Queue:      q,
+		Seed:       cfg.Seed,
+		MaxDataAge: 220 * simtime.Millisecond,
+		Scene: func(now simtime.Time) exectime.Scene {
+			return exectime.Scene{Obstacles: cfg.Obstacles(float64(now)), LoadFactor: 1}
+		},
+		OnControl: func(cmd engine.ControlCommand) { perceive(cmd) },
+		OnJobDecided: func(now simtime.Time, _ *sched.Job, missed bool) {
+			t := math.Min(float64(now), cfg.Duration-1e-9)
+			if err := miss.Note(t, missed); err != nil {
+				panic(fmt.Sprintf("scenario: miss bucket: %v", err))
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var coord *core.Coordinator
+	if cfg.Scheme.IsHCPerf() {
+		coord, err = core.New(core.Config{
+			Engine:  eng,
+			Queue:   q,
+			Dynamic: dyn,
+			// Multi-objective tracking error: the speed error in its
+			// natural scale plus the lateral offset scaled up so a
+			// 0.15 m excursion weighs like a 2 m/s speed error.
+			TrackingError: func(simtime.Time) float64 {
+				speedErr := math.Abs(lead.Speed() - follower.Speed)
+				latErr := math.Abs(lat.Y) * (2.0 / 0.15)
+				return math.Max(speedErr, latErr)
+			},
+			DisableExternal: cfg.Scheme == SchemeHCPerfInternal,
+			OnControlPeriod: func(now simtime.Time, e, u, gamma float64) {
+				recAdd(rec, "gamma", float64(now), gamma)
+				recAdd(rec, "u", float64(now), u)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if _, err := q.NewTicker(simtime.Time(cfg.VehicleStep), simtime.Duration(cfg.VehicleStep), func(now simtime.Time) {
+		if err := lead.Step(cfg.VehicleStep); err != nil {
+			panic(fmt.Sprintf("scenario: lead step: %v", err))
+		}
+		if err := follower.Step(cfg.VehicleStep); err != nil {
+			panic(fmt.Sprintf("scenario: follower step: %v", err))
+		}
+		if err := lat.Step(cfg.VehicleStep, follower.Speed, cfg.Curvature(follower.Position)); err != nil {
+			panic(fmt.Sprintf("scenario: lateral step: %v", err))
+		}
+		t := float64(now)
+		if err := recordHistory(t); err != nil {
+			panic(fmt.Sprintf("scenario: history: %v", err))
+		}
+		recAdd(rec, "speed_err", t, lead.Speed()-follower.Speed)
+		recAdd(rec, "offset", t, lat.Y)
+		recAdd(rec, "gap", t, lead.Position-follower.Position)
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := q.NewTicker(1, 1, func(now simtime.Time) {
+		t := float64(now)
+		recAdd(rec, "miss_ratio", t, miss.Ratio(int(t)-1))
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	if coord != nil {
+		if err := coord.Start(); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.RunUntil(simtime.Time(cfg.Duration)); err != nil {
+		return nil, err
+	}
+
+	return &CombinedResult{
+		Scheme:      cfg.Scheme,
+		Rec:         rec,
+		SpeedErrRMS: rec.Series("speed_err").RMS(0, cfg.Duration),
+		OffsetRMS:   rec.Series("offset").RMS(0, cfg.Duration),
+		LonCommands: lonCmds,
+		LatCommands: latCmds,
+		Miss:        miss,
+		EngineStats: eng.Stats(),
+	}, nil
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hcperf/internal/simtime"
+)
+
+// Dynamic is HCPerf's Dynamic Priority Scheduler (paper §V). Jobs are
+// dispatched by the dynamic scheduling priority
+//
+//	P_i = γ·p_i + d_i            (Eq. 10)
+//
+// where p_i is the static priority, d_i is the job's latest feasible start
+// time (the absolute form of the scheduling deadline D_i − c_i, Eq. 9) and
+// γ ≥ 0 balances deadline-driven against priority-driven dispatch: γ = 0
+// degenerates to least-slack (EDF-like) scheduling, large γ approaches
+// static-priority scheduling.
+//
+// γ is derived from the Performance Directed Controller's nominal signal
+// u(t): Recompute finds the largest γmax for which every queued job remains
+// schedulable under the Eq. 11 load constraints, then clamps u into
+// [0, γmax] (Eq. 12). When even γ = 0 is infeasible the system is
+// overloaded; γ is forced to 0 and the Overloaded flag is raised for the
+// external coordinator.
+type Dynamic struct {
+	// GammaCap bounds the γ search bracket (constraint 1b, γ^max).
+	GammaCap float64
+	// BisectIters is the number of bisection refinements when searching
+	// γmax; the default (24) resolves γ to GammaCap·2^-24.
+	BisectIters int
+
+	nominalU   float64
+	gamma      float64
+	gammaMax   float64
+	overloaded bool
+}
+
+// DefaultGammaCap spans enough γ range that γ·Δp can dominate the largest
+// deadline spreads (tens of milliseconds across ~23 priority levels).
+const DefaultGammaCap = 0.02
+
+// NewDynamic returns a Dynamic scheduler with the given γ cap; cap <= 0
+// selects DefaultGammaCap.
+func NewDynamic(gammaCap float64) *Dynamic {
+	if gammaCap <= 0 {
+		gammaCap = DefaultGammaCap
+	}
+	return &Dynamic{GammaCap: gammaCap, BisectIters: 24}
+}
+
+// Name implements Scheduler.
+func (d *Dynamic) Name() string { return "HCPerf" }
+
+// SetNominalU installs the Performance Directed Controller output u(t).
+// It takes effect at the next Recompute.
+func (d *Dynamic) SetNominalU(u float64) { d.nominalU = u }
+
+// NominalU returns the currently installed controller signal.
+func (d *Dynamic) NominalU() float64 { return d.nominalU }
+
+// Gamma returns the actual priority-adjustment coefficient in force.
+func (d *Dynamic) Gamma() float64 { return d.gamma }
+
+// GammaMax returns the schedulability bound found by the last Recompute.
+func (d *Dynamic) GammaMax() float64 { return d.gammaMax }
+
+// Overloaded reports whether the last Recompute found no feasible γ
+// (Eq. 11 unsatisfiable even at γ = 0). The external coordinator uses this
+// to shed load.
+func (d *Dynamic) Overloaded() bool { return d.overloaded }
+
+// Recompute re-derives γmax from the current ready queue and processor
+// state, then maps the nominal u into γ per Eq. 12. Call it when the ready
+// queue changes materially or when the controller publishes a new u.
+//
+// Feasibility is not perfectly monotone in γ (the constraint set depends on
+// the induced ordering), but it is monotone for the workloads in the paper's
+// regime — tight deadlines favour small γ — so a bisection over [0,
+// GammaCap] finds γmax to within GammaCap·2^-BisectIters.
+func (d *Dynamic) Recompute(now simtime.Time, ready []*Job, state *ProcState) {
+	switch {
+	case len(ready) == 0:
+		// Empty queue: every γ is trivially feasible.
+		d.gammaMax = d.GammaCap
+		d.overloaded = false
+	case !d.feasible(0, now, ready, state):
+		d.gammaMax = 0
+		d.overloaded = true
+	case d.feasible(d.GammaCap, now, ready, state):
+		d.gammaMax = d.GammaCap
+		d.overloaded = false
+	default:
+		lo, hi := 0.0, d.GammaCap
+		iters := d.BisectIters
+		if iters <= 0 {
+			iters = 24
+		}
+		for i := 0; i < iters; i++ {
+			mid := (lo + hi) / 2
+			if d.feasible(mid, now, ready, state) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		d.gammaMax = lo
+		d.overloaded = false
+	}
+	d.gamma = clampGamma(d.nominalU, d.gammaMax)
+}
+
+// clampGamma maps the nominal u to the actual γ per Eq. 12.
+func clampGamma(u, gammaMax float64) float64 {
+	switch {
+	case u < 0:
+		return 0
+	case u > gammaMax:
+		return gammaMax
+	default:
+		return u
+	}
+}
+
+// feasible checks the Eq. 11 constraint set for a candidate γ: with jobs
+// served in P_i(γ) order on n_p processors, every job k must satisfy
+//
+//	c_k + ΣT_p/n_p + Σ_{P_i<P_k} c_i/n_p  <  deadline_k − now.
+func (d *Dynamic) feasible(gamma float64, now simtime.Time, ready []*Job, state *ProcState) bool {
+	np := float64(state.NumProcs)
+	if np <= 0 {
+		return false
+	}
+	order := make([]*Job, len(ready))
+	copy(order, ready)
+	sort.SliceStable(order, func(i, j int) bool {
+		return d.priorityOf(order[i], gamma) < d.priorityOf(order[j], gamma)
+	})
+	base := float64(state.TotalRemaining()) / np
+	cum := 0.0
+	for _, j := range order {
+		c := float64(j.EstExec)
+		need := c + base + cum/np
+		if need >= float64(j.AbsDeadline-now) {
+			return false
+		}
+		cum += c
+	}
+	return true
+}
+
+// priorityOf evaluates Eq. 10 for one job. Smaller is dispatched first.
+func (d *Dynamic) priorityOf(j *Job, gamma float64) float64 {
+	return gamma*float64(j.Task.Priority) + float64(j.LatestStart())
+}
+
+// Select implements Scheduler: the queued job with the smallest dynamic
+// priority P_i under the γ currently in force.
+func (d *Dynamic) Select(_ simtime.Time, ready []*Job, _ int, _ *ProcState) int {
+	return pickBest(ready, nil, func(j *Job) float64 { return d.priorityOf(j, d.gamma) })
+}
+
+// String summarises the scheduler state for traces.
+func (d *Dynamic) String() string {
+	return fmt.Sprintf("Dynamic{u=%.4g γ=%.4g γmax=%.4g overloaded=%t}",
+		d.nominalU, d.gamma, d.gammaMax, d.overloaded)
+}

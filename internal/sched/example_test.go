@@ -1,0 +1,51 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/exectime"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+)
+
+const ms = simtime.Millisecond
+
+// The Dynamic Priority Scheduler interpolates between deadline-driven and
+// priority-driven dispatch: with γ = 0 the urgent low-priority job wins;
+// once the Performance Directed Controller pushes u (and hence γ) up, the
+// high-priority control job wins.
+func ExampleDynamic() {
+	control := &sched.Job{
+		Task: &dag.Task{
+			ID: 0, Name: "control", Priority: 1,
+			RelDeadline: 500 * ms, Exec: exectime.Constant(3 * ms),
+		},
+		AbsDeadline: 500 * ms, EstExec: 3 * ms,
+	}
+	detection := &sched.Job{
+		Task: &dag.Task{
+			ID: 1, Name: "detection", Priority: 11,
+			RelDeadline: 40 * ms, Exec: exectime.Constant(12 * ms),
+		},
+		AbsDeadline: 40 * ms, EstExec: 12 * ms,
+	}
+	ready := []*sched.Job{control, detection}
+	state := &sched.ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+
+	dyn := sched.NewDynamic(0.1)
+
+	// Driving performance is fine: u = 0, γ = 0, least-slack dispatch.
+	dyn.SetNominalU(0)
+	dyn.Recompute(0, ready, state)
+	fmt.Println("γ=0:   ", ready[dyn.Select(0, ready, 0, state)].Task.Name)
+
+	// Tracking error grew: the controller raised u, γ follows, and the
+	// control task jumps the queue.
+	dyn.SetNominalU(0.1)
+	dyn.Recompute(0, ready, state)
+	fmt.Println("γ=0.1: ", ready[dyn.Select(0, ready, 0, state)].Task.Name)
+	// Output:
+	// γ=0:    detection
+	// γ=0.1:  control
+}

@@ -1,0 +1,262 @@
+// Package simtime provides a deterministic discrete-event simulation kernel:
+// a virtual clock, a time-ordered event queue, and periodic timers.
+//
+// All HCPerf simulation components (task engine, vehicle dynamics,
+// coordinators) schedule work on a single EventQueue and observe the same
+// virtual clock, which makes every run exactly reproducible for a given
+// seed and configuration.
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual simulation instant, measured in seconds from the start
+// of the run. float64 seconds keeps the arithmetic in the same units the
+// paper uses (periods, deadlines and execution times are all given in
+// seconds or milliseconds).
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Common conversion helpers.
+const (
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+)
+
+// FromDuration converts a time.Duration into virtual seconds.
+func FromDuration(d time.Duration) Duration { return Duration(d.Seconds()) }
+
+// ToDuration converts virtual seconds into a time.Duration.
+func (t Time) ToDuration() time.Duration { return time.Duration(float64(t) * float64(time.Second)) }
+
+// Seconds returns the instant as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// String renders the instant with millisecond precision, e.g. "12.340s".
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// Event is a unit of scheduled work. Fn runs when the virtual clock reaches
+// At. Events at the same instant run in scheduling order (FIFO), which keeps
+// runs deterministic.
+type Event struct {
+	At Time
+	Fn func(now Time)
+
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrHalted is returned by Run variants when Halt stopped the queue early.
+var ErrHalted = errors.New("simtime: queue halted")
+
+// EventQueue is a discrete-event scheduler. The zero value is not usable;
+// construct with NewEventQueue.
+type EventQueue struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	halted bool
+	fired  uint64
+}
+
+// NewEventQueue returns an empty queue with the clock at zero.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Now returns the current virtual time.
+func (q *EventQueue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.heap) }
+
+// Fired returns the total number of events executed so far.
+func (q *EventQueue) Fired() uint64 { return q.fired }
+
+// Schedule enqueues fn to run at the absolute instant at. Scheduling in the
+// past (before Now) is an error: the returned event is nil and the function
+// is not enqueued. Use At >= Now.
+func (q *EventQueue) Schedule(at Time, fn func(now Time)) (*Event, error) {
+	if math.IsNaN(float64(at)) {
+		return nil, fmt.Errorf("simtime: schedule at NaN")
+	}
+	if at < q.now {
+		return nil, fmt.Errorf("simtime: schedule at %v before now %v", at, q.now)
+	}
+	if fn == nil {
+		return nil, errors.New("simtime: schedule with nil fn")
+	}
+	ev := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.heap, ev)
+	return ev, nil
+}
+
+// After enqueues fn to run d seconds from now. Negative delays are clamped
+// to zero.
+func (q *EventQueue) After(d Duration, fn func(now Time)) (*Event, error) {
+	if d < 0 {
+		d = 0
+	}
+	return q.Schedule(q.now+d, fn)
+}
+
+// Cancel removes a pending event. It is a no-op for events that already
+// fired or were already cancelled.
+func (q *EventQueue) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&q.heap, ev.index)
+	ev.index = -2
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (q *EventQueue) Halt() { q.halted = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its instant. It reports whether an event ran.
+func (q *EventQueue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.heap).(*Event)
+	q.now = ev.At
+	q.fired++
+	ev.Fn(q.now)
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called. It returns
+// ErrHalted if halted, nil otherwise.
+func (q *EventQueue) Run() error {
+	q.halted = false
+	for !q.halted {
+		if !q.Step() {
+			return nil
+		}
+	}
+	return ErrHalted
+}
+
+// RunUntil executes events with At <= end, then advances the clock to end.
+// Pending events after end stay queued. It returns ErrHalted if halted.
+func (q *EventQueue) RunUntil(end Time) error {
+	q.halted = false
+	for !q.halted {
+		if len(q.heap) == 0 || q.heap[0].At > end {
+			if end > q.now {
+				q.now = end
+			}
+			return nil
+		}
+		q.Step()
+	}
+	return ErrHalted
+}
+
+// Ticker fires fn every period seconds, starting at start. Changing Period
+// takes effect from the next tick. Stop cancels future ticks.
+type Ticker struct {
+	q      *EventQueue
+	fn     func(now Time)
+	period Duration
+	next   *Event
+	stop   bool
+}
+
+// NewTicker schedules a periodic callback. period must be > 0.
+func (q *EventQueue) NewTicker(start Time, period Duration, fn func(now Time)) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("simtime: ticker period %v must be positive", period)
+	}
+	if fn == nil {
+		return nil, errors.New("simtime: ticker with nil fn")
+	}
+	t := &Ticker{q: q, fn: fn, period: period}
+	ev, err := q.Schedule(start, t.tick)
+	if err != nil {
+		return nil, err
+	}
+	t.next = ev
+	return t, nil
+}
+
+func (t *Ticker) tick(now Time) {
+	if t.stop {
+		return
+	}
+	t.fn(now)
+	if t.stop { // fn may have stopped us
+		return
+	}
+	ev, err := t.q.Schedule(now+t.period, t.tick)
+	if err != nil {
+		// Scheduling strictly forward from now can only fail on NaN
+		// periods, which NewTicker and SetPeriod exclude.
+		panic(err)
+	}
+	t.next = ev
+}
+
+// SetPeriod updates the tick interval from the next tick onward.
+// Non-positive periods are rejected and leave the ticker unchanged.
+func (t *Ticker) SetPeriod(period Duration) error {
+	if period <= 0 {
+		return fmt.Errorf("simtime: ticker period %v must be positive", period)
+	}
+	t.period = period
+	return nil
+}
+
+// Period returns the current tick interval.
+func (t *Ticker) Period() Duration { return t.period }
+
+// Stop cancels all future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.next != nil {
+		t.q.Cancel(t.next)
+		t.next = nil
+	}
+}

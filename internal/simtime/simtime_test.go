@@ -1,0 +1,392 @@
+package simtime
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var got []Time
+	for _, at := range []Time{3, 1, 2, 1.5} {
+		at := at
+		if _, err := q.Schedule(at, func(now Time) { got = append(got, now) }); err != nil {
+			t.Fatalf("Schedule(%v): %v", at, err)
+		}
+	}
+	if err := q.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{1, 1.5, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := q.Schedule(5, func(Time) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	q := NewEventQueue()
+	if _, err := q.Schedule(2, func(Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Step() {
+		t.Fatal("Step returned false with pending event")
+	}
+	if _, err := q.Schedule(1, func(Time) {}); err == nil {
+		t.Error("scheduling in the past succeeded, want error")
+	}
+	if _, err := q.Schedule(Time(math.NaN()), func(Time) {}); err == nil {
+		t.Error("scheduling at NaN succeeded, want error")
+	}
+	if _, err := q.Schedule(3, nil); err == nil {
+		t.Error("scheduling nil fn succeeded, want error")
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	q := NewEventQueue()
+	if _, err := q.Schedule(4, func(Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	q.Step()
+	fired := false
+	if _, err := q.After(-1, func(now Time) {
+		fired = true
+		if now != 4 {
+			t.Errorf("After(-1) fired at %v, want 4 (clamped to now)", now)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("After(-1) event never fired")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := NewEventQueue()
+	fired := false
+	ev, err := q.Schedule(1, func(Time) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double-cancel and cancel-nil must be harmless.
+	q.Cancel(ev)
+	q.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	q := NewEventQueue()
+	fired := false
+	var victim *Event
+	victim, _ = q.Schedule(2, func(Time) { fired = true })
+	if _, err := q.Schedule(1, func(Time) { q.Cancel(victim) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("event cancelled from an earlier event still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := NewEventQueue()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		if _, err := q.Schedule(at, func(now Time) { fired = append(fired, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(2.5) fired %d events, want 2", len(fired))
+	}
+	if q.Now() != 2.5 {
+		t.Errorf("clock at %v after RunUntil(2.5), want 2.5", q.Now())
+	}
+	if q.Len() != 2 {
+		t.Errorf("%d events pending, want 2", q.Len())
+	}
+	// Continue to the end.
+	if err := q.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Errorf("fired %d events total, want 4", len(fired))
+	}
+	if q.Now() != 10 {
+		t.Errorf("clock at %v, want 10", q.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	q := NewEventQueue()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		if _, err := q.Schedule(Time(i), func(Time) {
+			count++
+			if count == 2 {
+				q.Halt()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Run(); err != ErrHalted {
+		t.Fatalf("Run returned %v, want ErrHalted", err)
+	}
+	if count != 2 {
+		t.Errorf("ran %d events before halt, want 2", count)
+	}
+	// Run again resumes cleanly.
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("ran %d events total, want 5", count)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	q := NewEventQueue()
+	var fired []Time
+	if _, err := q.Schedule(1, func(now Time) {
+		fired = append(fired, now)
+		if _, err := q.After(0.5, func(now Time) { fired = append(fired, now) }); err != nil {
+			t.Errorf("nested schedule: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != 1.5 {
+		t.Errorf("nested event fired at %v, want [1 1.5]", fired)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	q := NewEventQueue()
+	var ticks []Time
+	tk, err := q.NewTicker(0, 0.1, func(now Time) { ticks = append(ticks, now) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.RunUntil(0.55); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 6 { // 0.0 .. 0.5
+		t.Fatalf("got %d ticks, want 6: %v", len(ticks), ticks)
+	}
+	tk.Stop()
+	if err := q.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 6 {
+		t.Errorf("ticker fired after Stop: %v", ticks)
+	}
+}
+
+func TestTickerSetPeriod(t *testing.T) {
+	q := NewEventQueue()
+	var (
+		ticks []Time
+		tk    *Ticker
+		err   error
+	)
+	tk, err = q.NewTicker(0, 1, func(now Time) {
+		ticks = append(ticks, now)
+		if now >= 2 {
+			if err := tk.SetPeriod(0.5); err != nil {
+				t.Errorf("SetPeriod: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.RunUntil(3.2); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 1, 2, 2.5, 3}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if math.Abs(float64(ticks[i]-want[i])) > 1e-12 {
+			t.Fatalf("ticks %v, want %v", ticks, want)
+		}
+	}
+	if err := tk.SetPeriod(0); err == nil {
+		t.Error("SetPeriod(0) succeeded, want error")
+	}
+	if tk.Period() != 0.5 {
+		t.Errorf("period %v after rejected SetPeriod, want 0.5", tk.Period())
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	q := NewEventQueue()
+	var tk *Ticker
+	count := 0
+	tk, err := q.NewTicker(0, 1, func(Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("ticker fired %d times, want 3 (stopped from callback)", count)
+	}
+}
+
+func TestTickerInvalid(t *testing.T) {
+	q := NewEventQueue()
+	if _, err := q.NewTicker(0, 0, func(Time) {}); err == nil {
+		t.Error("NewTicker period 0 succeeded, want error")
+	}
+	if _, err := q.NewTicker(0, 1, nil); err == nil {
+		t.Error("NewTicker nil fn succeeded, want error")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := FromDuration(1500 * time.Millisecond); got != 1.5 {
+		t.Errorf("FromDuration = %v, want 1.5", got)
+	}
+	if got := Time(2.5).ToDuration(); got != 2500*time.Millisecond {
+		t.Errorf("ToDuration = %v, want 2.5s", got)
+	}
+	if got := Time(1.2345).String(); got != "1.234s" && got != "1.235s" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Time(3.5).Seconds(); got != 3.5 {
+		t.Errorf("Seconds = %v, want 3.5", got)
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in sorted order
+// and the fired count matches the scheduled count.
+func TestQuickFiringOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		q := NewEventQueue()
+		var fired []Time
+		times := make([]float64, len(raw))
+		for i, r := range raw {
+			at := Time(float64(r) / 100.0)
+			times[i] = float64(at)
+			if _, err := q.Schedule(at, func(now Time) { fired = append(fired, now) }); err != nil {
+				return false
+			}
+		}
+		if err := q.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		sort.Float64s(times)
+		for i := range fired {
+			if float64(fired[i]) != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random interleavings of schedule and cancel never fire a
+// cancelled event and always fire every non-cancelled one.
+func TestQuickCancelConsistency(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewEventQueue()
+		type tracked struct {
+			ev        *Event
+			cancelled bool
+			fired     bool
+		}
+		items := make([]*tracked, 0, n)
+		for i := 0; i < int(n); i++ {
+			it := &tracked{}
+			ev, err := q.Schedule(Time(rng.Float64()*10), func(Time) { it.fired = true })
+			if err != nil {
+				return false
+			}
+			it.ev = ev
+			items = append(items, it)
+		}
+		for _, it := range items {
+			if rng.Intn(2) == 0 {
+				q.Cancel(it.ev)
+				it.cancelled = true
+			}
+		}
+		if err := q.Run(); err != nil {
+			return false
+		}
+		for _, it := range items {
+			if it.cancelled == it.fired {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

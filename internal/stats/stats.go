@@ -1,0 +1,248 @@
+// Package stats provides the small set of statistics used throughout the
+// HCPerf evaluation: RMS, means, percentiles and online accumulators for
+// time-series metrics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty sample sets.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or an error if xs is empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// RMS returns the root-mean-square of xs, or an error if xs is empty.
+// This is the aggregation the paper uses for speed, distance and lateral
+// tracking errors (Tables II-VI).
+func RMS(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(len(xs))), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs))), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Accumulator collects samples incrementally without retaining them,
+// tracking count, mean (Welford), sum of squares, min and max. The zero
+// value is ready to use.
+type Accumulator struct {
+	n     int
+	mean  float64
+	m2    float64 // sum of squared deviations from the mean
+	sumSq float64 // raw sum of squares, for RMS
+	min   float64
+	max   float64
+}
+
+// Add incorporates one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	a.sumSq += x * x
+}
+
+// N returns the number of samples added.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// RMS returns the running root-mean-square (0 for an empty accumulator).
+func (a *Accumulator) RMS() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.sumSq / float64(a.n))
+}
+
+// StdDev returns the running population standard deviation.
+func (a *Accumulator) StdDev() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n))
+}
+
+// Min returns the smallest sample (0 for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 for an empty accumulator).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Reset discards all samples.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// Window is a fixed-capacity sliding window of samples supporting windowed
+// RMS/mean, used for jerk-based passenger-discomfort and ADE integration.
+type Window struct {
+	buf  []float64
+	head int
+	full bool
+}
+
+// NewWindow returns a sliding window holding up to n samples. n must be > 0.
+func NewWindow(n int) (*Window, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: window size must be positive")
+	}
+	return &Window{buf: make([]float64, n)}, nil
+}
+
+// Push adds a sample, evicting the oldest when full.
+func (w *Window) Push(x float64) {
+	w.buf[w.head] = x
+	w.head++
+	if w.head == len(w.buf) {
+		w.head = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.head
+}
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Samples returns the held samples oldest-first as a fresh slice.
+func (w *Window) Samples() []float64 {
+	n := w.Len()
+	out := make([]float64, 0, n)
+	if w.full {
+		out = append(out, w.buf[w.head:]...)
+	}
+	out = append(out, w.buf[:w.head]...)
+	return out
+}
+
+// RMS returns the RMS of the held samples (0 when empty).
+func (w *Window) RMS() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range w.Samples() {
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Mean returns the mean of the held samples (0 when empty).
+func (w *Window) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range w.Samples() {
+		sum += x
+	}
+	return sum / float64(n)
+}
+
+// Reset discards all samples but keeps the capacity.
+func (w *Window) Reset() {
+	w.head = 0
+	w.full = false
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "single", give: []float64{5}, want: 5},
+		{name: "pair", give: []float64{2, 4}, want: 3},
+		{name: "negatives", give: []float64{-1, 1}, want: 0},
+		{name: "mixed", give: []float64{1, 2, 3, 4}, want: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.give)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "single", give: []float64{3}, want: 3},
+		{name: "sign invariant", give: []float64{-3}, want: 3},
+		{name: "pythagorean", give: []float64{3, 4}, want: math.Sqrt(12.5)},
+		{name: "zeros", give: []float64{0, 0, 0}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RMS(tt.give)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want) {
+				t.Errorf("RMS(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+	if _, err := RMS(nil); err != ErrEmpty {
+		t.Errorf("RMS(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if _, err := StdDev(nil); err != ErrEmpty {
+		t.Errorf("StdDev(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v; want -1, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 5 {
+		t.Errorf("Max = %v, %v; want 5, nil", mx, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil) should fail")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 10},
+		{p: 100, want: 40},
+		{p: 50, want: 25},
+		{p: 25, want: 17.5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("Percentile(-1) succeeded, want error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) succeeded, want error")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("Percentile(nil) should return ErrEmpty")
+	}
+	one, err := Percentile([]float64{7}, 99)
+	if err != nil || one != 7 {
+		t.Errorf("Percentile single = %v, %v", one, err)
+	}
+	// Percentile must not mutate input.
+	unsorted := []float64{3, 1, 2}
+	if _, err := Percentile(unsorted, 50); err != nil {
+		t.Fatal(err)
+	}
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", unsorted)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2, 3.75, 0, 9, -4.25}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	wantMean, _ := Mean(xs)
+	wantRMS, _ := RMS(xs)
+	wantSD, _ := StdDev(xs)
+	wantMin, _ := Min(xs)
+	wantMax, _ := Max(xs)
+	if a.N() != len(xs) {
+		t.Errorf("N = %d, want %d", a.N(), len(xs))
+	}
+	if !almostEqual(a.Mean(), wantMean) {
+		t.Errorf("Mean = %v, want %v", a.Mean(), wantMean)
+	}
+	if !almostEqual(a.RMS(), wantRMS) {
+		t.Errorf("RMS = %v, want %v", a.RMS(), wantRMS)
+	}
+	if !almostEqual(a.StdDev(), wantSD) {
+		t.Errorf("StdDev = %v, want %v", a.StdDev(), wantSD)
+	}
+	if a.Min() != wantMin || a.Max() != wantMax {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), wantMin, wantMax)
+	}
+}
+
+func TestAccumulatorEmptyAndReset(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.RMS() != 0 || a.StdDev() != 0 || a.N() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	a.Add(5)
+	a.Reset()
+	if a.N() != 0 || a.Mean() != 0 {
+		t.Error("Reset did not clear accumulator")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cap() != 3 {
+		t.Errorf("Cap = %d, want 3", w.Cap())
+	}
+	w.Push(1)
+	w.Push(2)
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+	got := w.Samples()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Samples = %v, want [1 2]", got)
+	}
+	w.Push(3)
+	w.Push(4) // evicts 1
+	got = w.Samples()
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("Samples after wrap = %v, want [2 3 4]", got)
+	}
+	if !almostEqual(w.Mean(), 3) {
+		t.Errorf("windowed Mean = %v, want 3", w.Mean())
+	}
+	wantRMS := math.Sqrt((4.0 + 9 + 16) / 3)
+	if !almostEqual(w.RMS(), wantRMS) {
+		t.Errorf("windowed RMS = %v, want %v", w.RMS(), wantRMS)
+	}
+	w.Reset()
+	if w.Len() != 0 || w.RMS() != 0 || w.Mean() != 0 {
+		t.Error("Reset did not clear window")
+	}
+	if _, err := NewWindow(0); err == nil {
+		t.Error("NewWindow(0) succeeded, want error")
+	}
+}
+
+// Property: the accumulator agrees with the batch reductions for arbitrary
+// inputs.
+func TestQuickAccumulatorAgreesWithBatch(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var a Accumulator
+		for i, r := range raw {
+			xs[i] = float64(r) / 7
+			a.Add(xs[i])
+		}
+		wantMean, _ := Mean(xs)
+		wantRMS, _ := RMS(xs)
+		return math.Abs(a.Mean()-wantMean) < 1e-6 && math.Abs(a.RMS()-wantRMS) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RMS >= |Mean| for any non-empty sample set.
+func TestQuickRMSDominatesMean(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		rms, _ := RMS(xs)
+		mean, _ := Mean(xs)
+		return rms >= math.Abs(mean)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

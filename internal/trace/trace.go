@@ -1,0 +1,192 @@
+// Package trace records named time series during simulation runs and
+// exports them as CSV, which is how every figure of the evaluation is
+// regenerated.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Sample is one (time, value) point.
+type Sample struct {
+	T, V float64
+}
+
+// Series is an append-only time series. Times must be non-decreasing.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends a sample; time must not move backwards.
+func (s *Series) Add(t, v float64) error {
+	if n := len(s.Samples); n > 0 && t < s.Samples[n-1].T {
+		return fmt.Errorf("trace: series %q time %v before %v", s.Name, t, s.Samples[n-1].T)
+	}
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	return nil
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Values returns the sample values as a fresh slice.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, p := range s.Samples {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Slice returns the samples with from <= T < to as a fresh slice.
+func (s *Series) Slice(from, to float64) []Sample {
+	var out []Sample
+	for _, p := range s.Samples {
+		if p.T >= from && p.T < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RMS returns the root-mean-square of values with from <= T < to, or 0 if
+// the range is empty.
+func (s *Series) RMS(from, to float64) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Samples {
+		if p.T >= from && p.T < to {
+			sum += p.V * p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Mean returns the mean of values with from <= T < to, or 0 if empty.
+func (s *Series) Mean(from, to float64) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Samples {
+		if p.T >= from && p.T < to {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxAbs returns the largest |value| with from <= T < to, or 0 if empty.
+func (s *Series) MaxAbs(from, to float64) float64 {
+	m := 0.0
+	for _, p := range s.Samples {
+		if p.T >= from && p.T < to && math.Abs(p.V) > m {
+			m = math.Abs(p.V)
+		}
+	}
+	return m
+}
+
+// At returns the latest value with T <= t (zero-order hold) and whether any
+// sample qualifies.
+func (s *Series) At(t float64) (float64, bool) {
+	idx := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > t })
+	if idx == 0 {
+		return 0, false
+	}
+	return s.Samples[idx-1].V, true
+}
+
+// Recorder collects named series.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Add appends a sample to the named series, creating it on first use.
+func (r *Recorder) Add(name string, t, v float64) error {
+	if name == "" {
+		return errors.New("trace: empty series name")
+	}
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	return s.Add(t, v)
+}
+
+// Series returns the named series, or nil if absent.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// WriteCSV writes all series in long format: series,time,value.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "time", "value"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, name := range r.order {
+		for _, p := range r.series[name].Samples {
+			rec := []string{
+				name,
+				strconv.FormatFloat(p.T, 'g', -1, 64),
+				strconv.FormatFloat(p.V, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Percentile returns the p-th percentile (0..100, linear interpolation) of
+// the values with from <= T < to. It returns 0 for an empty range or an
+// out-of-range p.
+func (s *Series) Percentile(p, from, to float64) float64 {
+	if p < 0 || p > 100 {
+		return 0
+	}
+	var vals []float64
+	for _, q := range s.Samples {
+		if q.T >= from && q.T < to {
+			vals = append(vals, q.V)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	rank := p / 100 * float64(len(vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := rank - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}

@@ -1,0 +1,446 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLongitudinalConfigValidate(t *testing.T) {
+	if err := DefaultLongitudinal().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := ScaledCarLongitudinal().Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*LongitudinalConfig)
+	}{
+		{name: "zero accel", mutate: func(c *LongitudinalConfig) { c.MaxAccel = 0 }},
+		{name: "zero brake", mutate: func(c *LongitudinalConfig) { c.MaxBrake = 0 }},
+		{name: "negative tau", mutate: func(c *LongitudinalConfig) { c.ActuatorTau = -1 }},
+		{name: "zero max speed", mutate: func(c *LongitudinalConfig) { c.MaxSpeed = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultLongitudinal()
+			tt.mutate(&cfg)
+			if _, err := NewLongitudinal(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestLongitudinalAcceleratesTowardCommand(t *testing.T) {
+	v, err := NewLongitudinal(DefaultLongitudinal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetAccelCommand(2)
+	for i := 0; i < 500; i++ {
+		if err := v.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After 5 s at ~2 m/s^2 (minus lag warm-up) speed should be close to
+	// 10 m/s and position close to 25 m.
+	if v.Speed < 9 || v.Speed > 10.5 {
+		t.Errorf("speed %v after 5s at 2 m/s^2, want ~9.6", v.Speed)
+	}
+	if v.Position < 20 || v.Position > 27 {
+		t.Errorf("position %v, want ~24", v.Position)
+	}
+	if got := v.Accel(); math.Abs(got-2) > 0.01 {
+		t.Errorf("achieved accel %v, want ~2 after lag settles", got)
+	}
+}
+
+func TestLongitudinalCommandClamped(t *testing.T) {
+	v, err := NewLongitudinal(DefaultLongitudinal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetAccelCommand(99)
+	if got := v.AccelCommand(); got != DefaultLongitudinal().MaxAccel {
+		t.Errorf("command %v, want clamped to MaxAccel", got)
+	}
+	v.SetAccelCommand(-99)
+	if got := v.AccelCommand(); got != -DefaultLongitudinal().MaxBrake {
+		t.Errorf("command %v, want clamped to -MaxBrake", got)
+	}
+}
+
+func TestLongitudinalNeverReverses(t *testing.T) {
+	v, err := NewLongitudinal(DefaultLongitudinal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Speed = 1
+	v.SetAccelCommand(-8)
+	for i := 0; i < 300; i++ {
+		if err := v.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+		if v.Speed < 0 {
+			t.Fatalf("speed went negative: %v", v.Speed)
+		}
+	}
+	if v.Speed != 0 {
+		t.Errorf("speed %v after hard braking, want 0", v.Speed)
+	}
+}
+
+func TestLongitudinalSpeedCap(t *testing.T) {
+	cfg := DefaultLongitudinal()
+	cfg.MaxSpeed = 5
+	v, err := NewLongitudinal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetAccelCommand(3)
+	for i := 0; i < 1000; i++ {
+		if err := v.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Speed > 5 {
+		t.Errorf("speed %v exceeds cap 5", v.Speed)
+	}
+}
+
+func TestLongitudinalStepRejectsBadDt(t *testing.T) {
+	v, err := NewLongitudinal(DefaultLongitudinal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Step(0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if err := v.Step(-0.1); err == nil {
+		t.Error("negative dt accepted")
+	}
+}
+
+func TestStaleCommandPersists(t *testing.T) {
+	// The core failure mode of missed deadlines: the last command keeps
+	// actuating.
+	v, err := NewLongitudinal(LongitudinalConfig{MaxAccel: 3, MaxBrake: 8, ActuatorTau: 0, MaxSpeed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetAccelCommand(1)
+	for i := 0; i < 100; i++ {
+		if err := v.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 1.0 // 1 m/s^2 for 1 s
+	if math.Abs(v.Speed-want) > 1e-9 {
+		t.Errorf("speed %v, want %v (command persisted)", v.Speed, want)
+	}
+}
+
+func TestSineProfile(t *testing.T) {
+	p := SineProfile{Mean: 15, Amp: 5, Period: 7}
+	if got := p.Speed(0); got != 15 {
+		t.Errorf("Speed(0) = %v, want 15", got)
+	}
+	if got := p.Speed(7.0 / 4); math.Abs(got-20) > 1e-9 {
+		t.Errorf("Speed(T/4) = %v, want 20", got)
+	}
+	if got := p.Speed(3 * 7.0 / 4); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Speed(3T/4) = %v, want 10", got)
+	}
+	// Degenerate period.
+	if got := (SineProfile{Mean: 12}).Speed(3); got != 12 {
+		t.Errorf("zero-period sine = %v, want mean", got)
+	}
+}
+
+func TestPiecewiseProfile(t *testing.T) {
+	p, err := NewPiecewiseProfile([]PhasePoint{{T: 0, Speed: 0}, {T: 5, Speed: 2}, {T: 15, Speed: 2}, {T: 20, Speed: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		t, want float64
+	}{
+		{t: -1, want: 0},
+		{t: 0, want: 0},
+		{t: 2.5, want: 1},
+		{t: 5, want: 2},
+		{t: 10, want: 2},
+		{t: 17.5, want: 1},
+		{t: 25, want: 0},
+	}
+	for _, tt := range tests {
+		if got := p.Speed(tt.t); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Speed(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestPiecewiseProfileValidation(t *testing.T) {
+	if _, err := NewPiecewiseProfile(nil); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := NewPiecewiseProfile([]PhasePoint{{T: 5, Speed: 1}, {T: 5, Speed: 2}}); err == nil {
+		t.Error("non-increasing anchors accepted")
+	}
+	if _, err := NewPiecewiseProfile([]PhasePoint{{T: 0, Speed: -1}}); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestLeadIntegratesProfile(t *testing.T) {
+	lead, err := NewLead(ConstantProfile(10), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := lead.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(lead.Position-110) > 1e-9 {
+		t.Errorf("lead position %v after 1s at 10 m/s from 100, want 110", lead.Position)
+	}
+	if lead.Speed() != 10 {
+		t.Errorf("lead speed %v, want 10", lead.Speed())
+	}
+	if _, err := NewLead(nil, 0); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if err := lead.Step(0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+}
+
+func TestCarFollowerClosesLoop(t *testing.T) {
+	// Closed-loop sanity: the follower converges to the lead speed and a
+	// steady gap under ideal (no-delay) control.
+	cf := DefaultCarFollower()
+	follower, err := NewLongitudinal(DefaultLongitudinal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead, err := NewLead(ConstantProfile(15), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.Speed = 10
+	dt := 0.01
+	for i := 0; i < 6000; i++ {
+		gap := lead.Position - follower.Position
+		follower.SetAccelCommand(cf.Accel(follower.Speed, lead.Speed(), gap))
+		if err := follower.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		if err := lead.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(follower.Speed-15) > 0.1 {
+		t.Errorf("follower speed %v, want ~15", follower.Speed)
+	}
+	wantGap := cf.StandstillGap + cf.Headway*15
+	gap := lead.Position - follower.Position
+	if math.Abs(gap-wantGap) > 1 {
+		t.Errorf("steady gap %v, want ~%v", gap, wantGap)
+	}
+}
+
+func TestLateralValidation(t *testing.T) {
+	if err := DefaultLateral().Validate(); err != nil {
+		t.Fatalf("default lateral invalid: %v", err)
+	}
+	bad := []LateralConfig{
+		{WheelBase: 0, MaxSteer: 0.5},
+		{WheelBase: 2.7, MaxSteer: 0},
+		{WheelBase: 2.7, MaxSteer: 0.5, ActuatorTau: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewLateral(cfg); err == nil {
+			t.Errorf("bad lateral config %d accepted", i)
+		}
+	}
+}
+
+func TestLaneKeeperCentersVehicle(t *testing.T) {
+	lk := DefaultLaneKeeper()
+	lat, err := NewLateral(DefaultLateral())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat.Y = 1.0 // start offset 1 m
+	dt, speed := 0.01, 5.0
+	for i := 0; i < 3000; i++ {
+		lat.SetSteerCommand(lk.Steer(lat.Y, lat.Psi, 0))
+		if err := lat.Step(dt, speed, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(lat.Y) > 0.05 {
+		t.Errorf("offset %v after 30s of lane keeping, want ~0", lat.Y)
+	}
+}
+
+func TestLaneKeeperHoldsCurveWithFeedForward(t *testing.T) {
+	lk := DefaultLaneKeeper()
+	lat, err := NewLateral(DefaultLateral())
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvature := 1.0 / 30 // 30 m radius corner
+	dt, speed := 0.01, 5.0
+	var maxOff float64
+	for i := 0; i < 3000; i++ {
+		lat.SetSteerCommand(lk.Steer(lat.Y, lat.Psi, curvature))
+		if err := lat.Step(dt, speed, curvature); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lat.Y) > maxOff {
+			maxOff = math.Abs(lat.Y)
+		}
+	}
+	if maxOff > 0.2 {
+		t.Errorf("max offset %v in curve with feed-forward, want < 0.2", maxOff)
+	}
+}
+
+func TestLateralStaleSteeringDrifts(t *testing.T) {
+	// Without fresh commands in a curve, the vehicle drifts outward —
+	// the lane-keeping failure mode of missed deadlines.
+	lat, err := NewLateral(DefaultLateral())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat.SetSteerCommand(0) // stale straight-ahead command
+	curvature := 1.0 / 30
+	for i := 0; i < 200; i++ {
+		if err := lat.Step(0.01, 5, curvature); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(lat.Y) < 0.05 {
+		t.Errorf("offset %v with stale steering in curve, want noticeable drift", lat.Y)
+	}
+	if err := lat.Step(0, 5, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+}
+
+func TestTrack(t *testing.T) {
+	tr, err := NewTrack([]Segment{{Length: 100, Curvature: 0}, {Length: 50, Curvature: 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Length() != 150 {
+		t.Errorf("Length = %v, want 150", tr.Length())
+	}
+	tests := []struct {
+		s, want float64
+	}{
+		{s: 0, want: 0},
+		{s: 99, want: 0},
+		{s: 100, want: 0.02},
+		{s: 149, want: 0.02},
+		{s: 150, want: 0},    // wraps
+		{s: 260, want: 0.02}, // 260-150=110
+		{s: -10, want: 0.02}, // wraps negative to 140
+	}
+	for _, tt := range tests {
+		if got := tr.Curvature(tt.s); got != tt.want {
+			t.Errorf("Curvature(%v) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+	if _, err := NewTrack(nil); err == nil {
+		t.Error("empty track accepted")
+	}
+	if _, err := NewTrack([]Segment{{Length: 0}}); err == nil {
+		t.Error("zero-length segment accepted")
+	}
+}
+
+func TestOvalTrack(t *testing.T) {
+	tr, err := OvalTrack(200, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four quarter circles of radius 30 plus straights.
+	wantLen := 2*200 + 2*50 + 4*math.Pi*30/2
+	if math.Abs(tr.Length()-wantLen) > 1e-9 {
+		t.Errorf("oval length %v, want %v", tr.Length(), wantLen)
+	}
+	// Count curvature transitions over one lap: 8 segments.
+	transitions := 0
+	prev := tr.Curvature(0)
+	for s := 0.5; s < tr.Length(); s += 0.5 {
+		cur := tr.Curvature(s)
+		if cur != prev {
+			transitions++
+			prev = cur
+		}
+	}
+	if transitions != 7 { // 8 segments => 7 internal transitions
+		t.Errorf("found %d curvature transitions, want 7", transitions)
+	}
+	if _, err := OvalTrack(0, 30); err == nil {
+		t.Error("invalid oval accepted")
+	}
+}
+
+// Property: speed stays within [0, MaxSpeed] for arbitrary command
+// sequences.
+func TestQuickSpeedBounds(t *testing.T) {
+	f := func(cmds []int8) bool {
+		v, err := NewLongitudinal(DefaultLongitudinal())
+		if err != nil {
+			return false
+		}
+		for _, c := range cmds {
+			v.SetAccelCommand(float64(c) / 4)
+			for i := 0; i < 10; i++ {
+				if err := v.Step(0.01); err != nil {
+					return false
+				}
+				if v.Speed < 0 || v.Speed > DefaultLongitudinal().MaxSpeed {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: piecewise profiles interpolate within the convex hull of
+// anchor speeds.
+func TestQuickPiecewiseWithinHull(t *testing.T) {
+	f := func(speeds []uint8, tRaw uint16) bool {
+		if len(speeds) == 0 {
+			return true
+		}
+		points := make([]PhasePoint, len(speeds))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, s := range speeds {
+			v := float64(s) / 8
+			points[i] = PhasePoint{T: float64(i), Speed: v}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		p, err := NewPiecewiseProfile(points)
+		if err != nil {
+			return false
+		}
+		got := p.Speed(float64(tRaw) / 100)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
