@@ -1,0 +1,42 @@
+# Development workflow for hcperf. Stdlib-only Go >= 1.22; every target is
+# plain `go` tooling so CI and local runs are identical.
+
+GO ?= go
+
+# Packages that own concurrency: the worker pool itself plus everything the
+# pool fans out (experiments, the simulation engine, the scenarios) and the
+# wall-clock executor.
+RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
+             ./internal/engine/... ./internal/scenario/... ./internal/rt/...
+
+.PHONY: ci vet build test race bench fuzz suite
+
+## ci: the tier-1 gate — vet, build, full test suite, then the race pass.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: concurrency-sensitive packages under the race detector. Includes
+## the determinism harness (serial vs parallel digests) and the overlapping
+## sweep test, so data races surface as reports or fingerprint mismatches.
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+## bench: the parallel-runner benchmarks recorded in EXPERIMENTS.md.
+bench:
+	$(GO) test -bench='Sweep(Serial|Parallel)|Suite(Serial|Parallel)' -benchtime=3x -run='^$$' .
+
+## fuzz: short fuzz pass of the Hungarian solver against brute force.
+fuzz:
+	$(GO) test -fuzz=FuzzHungarian -fuzztime=10s ./internal/hungarian/
+
+## suite: run every experiment once, fanned across GOMAXPROCS workers.
+suite:
+	$(GO) run ./cmd/hcperf-sim -mode suite -parallel 0

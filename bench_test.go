@@ -13,6 +13,7 @@ package hcperf_test
 // the orderings visible directly in the benchmark output.
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"hcperf/internal/experiment"
 	"hcperf/internal/hungarian"
 	"hcperf/internal/mfc"
+	"hcperf/internal/runner"
 	"hcperf/internal/scenario"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
@@ -150,6 +152,58 @@ func BenchmarkExtAEB(b *testing.B) { benchExperiment(b, "ext-aeb") }
 
 // BenchmarkExtDualControl runs the dual-sink control extension.
 func BenchmarkExtDualControl(b *testing.B) { benchExperiment(b, "ext-dual") }
+
+// --- Parallel runner benchmarks ---
+
+// benchSweep runs the five-scheme car-following sweep (the workhorse unit
+// behind Fig. 13 and Tables II/III) through the worker-pool runner with the
+// given worker count; 0 selects GOMAXPROCS. BenchmarkSweepSerial vs
+// BenchmarkSweepParallel measures the end-to-end speedup of `-parallel`;
+// the quotient of their ns/op is the number EXPERIMENTS.md records.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	schemes := scenario.AllSchemes()
+	for i := 0; i < b.N; i++ {
+		results, err := runner.Map(context.Background(), workers, schemes,
+			func(_ context.Context, s scenario.Scheme) (*scenario.CarFollowingResult, error) {
+				return scenario.RunCarFollowing(scenario.CarFollowingConfig{Scheme: s, Seed: 1})
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, r := range results {
+			if r == nil {
+				b.Fatalf("scheme %v returned no result", schemes[j])
+			}
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker reference sweep.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel fans the same sweep out across GOMAXPROCS workers.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSuiteSerial and BenchmarkSuiteParallel do the same at suite
+// granularity: all registered experiments, with sweep parallelism matching
+// the outer fan-out (exactly what `hcperf-sim -mode suite -parallel N` runs).
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	experiment.SetParallelism(workers)
+	defer experiment.SetParallelism(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAll(context.Background(), 1, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSerial runs every experiment on one worker.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel runs every experiment across GOMAXPROCS workers.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
 
 // --- Micro-benchmarks of the hot paths ---
 

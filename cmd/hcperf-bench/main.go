@@ -10,43 +10,52 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"hcperf/internal/experiment"
+	"hcperf/internal/runner"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id to run (default: all)")
-		seed = flag.Int64("seed", 1, "base random seed")
-		csv  = flag.String("csv", "", "directory for CSV export of series and rows")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id to run (default: all)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		csv      = flag.String("csv", "", "directory for CSV export of series and rows")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 1, "worker count: N>=1 workers, 0 = GOMAXPROCS")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *csv, *list); err != nil {
+	if err := run(*exp, *seed, *csv, *list, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, csvDir string, list bool) error {
+func run(exp string, seed int64, csvDir string, list bool, parallel int) error {
 	if list {
 		for _, id := range experiment.IDs() {
 			fmt.Println(id)
 		}
 		return nil
 	}
+	experiment.SetParallelism(parallel)
 	ids := experiment.IDs()
 	if exp != "" {
 		ids = []string{exp}
 	}
-	for _, id := range ids {
-		rep, err := experiment.Run(id, seed)
-		if err != nil {
-			return err
-		}
+	// Fan the experiments out through the runner, then render the reports
+	// serially in registry order: output bytes are identical to a serial
+	// loop's regardless of the worker count.
+	reports, err := runner.Map(context.Background(), parallel, ids, func(_ context.Context, id string) (*experiment.Report, error) {
+		return experiment.Run(id, seed)
+	})
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
 		if err := rep.WriteText(os.Stdout); err != nil {
 			return err
 		}

@@ -11,9 +11,11 @@
 //	hcperf-sim -scenario jam       -scheme hcperf
 //	hcperf-sim -scenario combined  -scheme hcperf      # dual-control graph
 //	hcperf-sim -mode rt -duration 5 -scheme hcperf     # wall-clock executor
+//	hcperf-sim -mode suite -parallel 4                 # full experiment suite
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"hcperf/internal/dag"
+	"hcperf/internal/experiment"
 	"hcperf/internal/rt"
 	"hcperf/internal/scenario"
 	"hcperf/internal/sched"
@@ -35,10 +38,11 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		duration     = flag.Float64("duration", 0, "override scenario duration (seconds; 0 = default)")
 		csvPath      = flag.String("csv", "", "write recorded series to this CSV file")
-		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock)")
+		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite)")
+		parallel     = flag.Int("parallel", 1, "suite worker count: N>=1 workers, 0 = GOMAXPROCS")
 	)
 	flag.Parse()
-	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *mode); err != nil {
+	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *mode, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
 		os.Exit(1)
 	}
@@ -63,7 +67,10 @@ func parseScheme(name string) (scenario.Scheme, error) {
 	}
 }
 
-func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, mode string) error {
+func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, mode string, parallel int) error {
+	if mode == "suite" || mode == "experiments" {
+		return runSuite(seed, parallel)
+	}
 	scheme, err := parseScheme(schemeName)
 	if err != nil {
 		return err
@@ -170,6 +177,30 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		}
 		fmt.Printf("series written to %s\n", csvPath)
 	}
+	return nil
+}
+
+// runSuite reproduces the full evaluation — every registered experiment —
+// through the worker-pool runner. Experiments fan out across the pool and
+// each experiment's internal scheme/seed sweeps use the same worker count,
+// so -parallel N engages the whole machine while the reports stay in
+// deterministic registry order (and, by the determinism harness, stay
+// byte-identical to a serial run).
+func runSuite(seed int64, parallel int) error {
+	experiment.SetParallelism(parallel)
+	start := time.Now()
+	reports, err := experiment.RunAll(context.Background(), seed, parallel)
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	fmt.Printf("suite: %d experiments, seed %d, parallel=%d, %.2fs\n",
+		len(reports), seed, parallel, time.Since(start).Seconds())
 	return nil
 }
 

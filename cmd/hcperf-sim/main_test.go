@@ -39,7 +39,7 @@ func TestRunScenariosShort(t *testing.T) {
 	for _, sc := range []string{"carfollow", "lanekeep", "motivation", "hardware", "jam", "combined"} {
 		t.Run(sc, func(t *testing.T) {
 			dur := 5.0
-			if err := run(sc, "edf", 1, dur, "", "sim"); err != nil {
+			if err := run(sc, "edf", 1, dur, "", "sim", 1); err != nil {
 				t.Fatalf("run(%s): %v", sc, err)
 			}
 		})
@@ -48,7 +48,7 @@ func TestRunScenariosShort(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "hcperf", 1, 5, path, "sim"); err != nil {
+	if err := run("carfollow", "hcperf", 1, 5, path, "sim", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -60,14 +60,26 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 }
 
+func TestRunSuiteParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	// The suite must complete through the worker pool with multiple
+	// workers; determinism vs the serial run is enforced separately in
+	// internal/runner's harness tests.
+	if err := run("", "", 1, 0, "", "suite", 4); err != nil {
+		t.Fatalf("suite run: %v", err)
+	}
+}
+
 func TestRunRejectsInvalid(t *testing.T) {
-	if err := run("bogus", "edf", 1, 0, "", "sim"); err == nil {
+	if err := run("bogus", "edf", 1, 0, "", "sim", 1); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("carfollow", "bogus", 1, 0, "", "sim"); err == nil {
+	if err := run("carfollow", "bogus", 1, 0, "", "sim", 1); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("carfollow", "edf", 1, 0, "", "bogus"); err == nil {
+	if err := run("carfollow", "edf", 1, 0, "", "bogus", 1); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
@@ -76,10 +88,10 @@ func TestRunWallClockBriefly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock run")
 	}
-	if err := run("carfollow", "hcperf", 1, 2, "", "rt"); err != nil {
+	if err := run("carfollow", "hcperf", 1, 2, "", "rt", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("carfollow", "edf", 1, 2, "", "rt"); err != nil {
+	if err := run("carfollow", "edf", 1, 2, "", "rt", 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -27,16 +27,19 @@ func init() {
 // least-slack scheduling, large caps saturate into static-priority mode.
 func AblateGammaCap(seed int64) (*Report, error) {
 	caps := []float64{1e-6, 0.005, 0.02, 0.1}
-	rows := make([][]string, 0, len(caps))
-	for _, cap := range caps {
-		r, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{
+	results, err := sweep(caps, func(cap float64) (*scenario.CarFollowingResult, error) {
+		return scenario.RunCarFollowing(scenario.CarFollowingConfig{
 			Scheme:   scenario.SchemeHCPerfInternal,
 			Seed:     seed,
 			GammaCap: cap,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(caps))
+	for i, cap := range caps {
+		r := results[i]
 		rows = append(rows, []string{
 			fmt.Sprintf("%g", cap),
 			fmtF(r.SpeedErrRMS, 3),
@@ -71,17 +74,20 @@ func AblateE2E(seed int64) (*Report, error) {
 		{label: "no input-age bound", age: -1},
 		{label: "neither guard", disableE2E: true, age: -1},
 	}
-	rows := make([][]string, 0, len(variants))
-	for _, v := range variants {
-		r, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{
+	results, err := sweep(variants, func(v variant) (*scenario.CarFollowingResult, error) {
+		return scenario.RunCarFollowing(scenario.CarFollowingConfig{
 			Scheme:     scenario.SchemeHCPerf,
 			Seed:       seed,
 			DisableE2E: v.disableE2E,
 			MaxDataAge: v.age,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(variants))
+	for i, v := range variants {
+		r := results[i]
 		rows = append(rows, []string{
 			v.label,
 			fmtF(r.SpeedErrRMS, 3),
@@ -113,24 +119,35 @@ func AblateDataAge(seed int64) (*Report, error) {
 		{label: "validity 220 ms (default)", age: 0},
 		{label: "validity disabled", age: -1},
 	}
-	rows := make([][]string, 0, 4)
+	type cell struct {
+		v variant
+		s scenario.Scheme
+	}
+	var grid []cell
 	for _, v := range variants {
 		for _, s := range []scenario.Scheme{scenario.SchemeHPF, scenario.SchemeHCPerf} {
-			r, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{
-				Scheme:     s,
-				Seed:       seed,
-				MaxDataAge: v.age,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, []string{
-				v.label, s.String(),
-				fmtF(r.SpeedErrRMS, 3),
-				fmtF(r.Miss.MeanRatio(), 3),
-				fmtF(r.Throughput, 1),
-			})
+			grid = append(grid, cell{v: v, s: s})
 		}
+	}
+	results, err := sweep(grid, func(c cell) (*scenario.CarFollowingResult, error) {
+		return scenario.RunCarFollowing(scenario.CarFollowingConfig{
+			Scheme:     c.s,
+			Seed:       seed,
+			MaxDataAge: c.v.age,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(grid))
+	for i, c := range grid {
+		r := results[i]
+		rows = append(rows, []string{
+			c.v.label, c.s.String(),
+			fmtF(r.SpeedErrRMS, 3),
+			fmtF(r.Miss.MeanRatio(), 3),
+			fmtF(r.Throughput, 1),
+		})
 	}
 	return &Report{
 		ID:     "ablate-dataage",
@@ -146,24 +163,35 @@ func AblateDataAge(seed int64) (*Report, error) {
 // SweepProcs sweeps the processor count for HCPerf and EDF: the framework's
 // advantage is largest when the pool is scarce.
 func SweepProcs(seed int64) (*Report, error) {
-	rows := make([][]string, 0, 6)
+	type cell struct {
+		m int
+		s scenario.Scheme
+	}
+	var grid []cell
 	for _, m := range []int{1, 2, 4} {
 		for _, s := range []scenario.Scheme{scenario.SchemeEDF, scenario.SchemeHCPerf} {
-			r, err := scenario.RunCarFollowing(scenario.CarFollowingConfig{
-				Scheme:   s,
-				Seed:     seed,
-				NumProcs: m,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, []string{
-				fmt.Sprintf("M=%d", m), s.String(),
-				fmtF(r.SpeedErrRMS, 3),
-				fmtF(r.Miss.MeanRatio(), 3),
-				fmtF(r.Throughput, 1),
-			})
+			grid = append(grid, cell{m: m, s: s})
 		}
+	}
+	results, err := sweep(grid, func(c cell) (*scenario.CarFollowingResult, error) {
+		return scenario.RunCarFollowing(scenario.CarFollowingConfig{
+			Scheme:   c.s,
+			Seed:     seed,
+			NumProcs: c.m,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(grid))
+	for i, c := range grid {
+		r := results[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("M=%d", c.m), c.s.String(),
+			fmtF(r.SpeedErrRMS, 3),
+			fmtF(r.Miss.MeanRatio(), 3),
+			fmtF(r.Throughput, 1),
+		})
 	}
 	return &Report{
 		ID:     "sweep-procs",
@@ -181,19 +209,36 @@ func SweepProcs(seed int64) (*Report, error) {
 // stopping margin each scheduling scheme preserves.
 func ExtAEB(seed int64) (*Report, error) {
 	const runs = 8 // single-event margins are command-phase sensitive
-	rows := make([][]string, 0, 5)
-	for _, s := range scenario.AllSchemes() {
+	// Fan out the full scheme × seed grid: all 40 runs are independent, so
+	// the pool chews through them in any order while the aggregation below
+	// walks the grid in input order.
+	type cell struct {
+		s scenario.Scheme
+		k int64
+	}
+	schemes := scenario.AllSchemes()
+	var grid []cell
+	for _, s := range schemes {
+		for k := int64(0); k < runs; k++ {
+			grid = append(grid, cell{s: s, k: k})
+		}
+	}
+	results, err := sweep(grid, func(c cell) (*scenario.CarFollowingResult, error) {
+		cfg, err := scenario.AEBCarFollowingConfig(c.s, seed+c.k)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.RunCarFollowing(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(schemes))
+	for si, s := range schemes {
 		var sumGap, worstGap, sumE2E float64
 		collisions := 0
-		for k := int64(0); k < runs; k++ {
-			cfg, err := scenario.AEBCarFollowingConfig(s, seed+k)
-			if err != nil {
-				return nil, err
-			}
-			r, err := scenario.RunCarFollowing(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for k := 0; k < runs; k++ {
+			r := results[si*runs+k]
 			minGap := r.Rec.Series("gap").Samples[0].V
 			for _, p := range r.Rec.Series("gap").Samples {
 				if p.V < minGap {
@@ -233,12 +278,16 @@ func ExtAEB(seed int64) (*Report, error) {
 // and lane keeping on the 24-task graph with separate longitudinal and
 // lateral control tasks.
 func ExtDualControl(seed int64) (*Report, error) {
-	rows := make([][]string, 0, 5)
-	for _, s := range scenario.AllSchemes() {
-		r, err := scenario.RunCombined(scenario.CombinedConfig{Scheme: s, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
+	schemes := scenario.AllSchemes()
+	results, err := sweep(schemes, func(s scenario.Scheme) (*scenario.CombinedResult, error) {
+		return scenario.RunCombined(scenario.CombinedConfig{Scheme: s, Seed: seed})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(schemes))
+	for i, s := range schemes {
+		r := results[i]
 		rows = append(rows, []string{
 			s.String(),
 			fmtF(r.SpeedErrRMS, 3),

@@ -5,6 +5,8 @@
 package experiment
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -32,6 +34,47 @@ type Report struct {
 	Notes []string
 	// Series holds raw time series for figure regeneration (may be nil).
 	Series *trace.Recorder
+	// Volatile marks reports whose Rows carry wall-clock-derived values
+	// (e.g. the coordinator overhead measurement) and therefore legitimately
+	// differ between runs; Digest skips the Rows of volatile reports so the
+	// determinism harness still covers their structure.
+	Volatile bool
+}
+
+// Digest returns a canonical SHA-256 over everything the report renders:
+// ID, title, header, measured rows (unless Volatile), paper rows, notes and
+// the full series CSV. Two reports with equal digests produce byte-identical
+// WriteText and WriteCSV output, which is the invariant the determinism
+// harness (internal/runner) enforces between serial and parallel runs.
+func (r *Report) Digest() (string, error) {
+	h := sha256.New()
+	put := func(field string, cells ...string) {
+		// Length-prefix every cell so cell boundaries cannot alias.
+		fmt.Fprintf(h, "%s:%d;", field, len(cells))
+		for _, c := range cells {
+			fmt.Fprintf(h, "%d:%s;", len(c), c)
+		}
+	}
+	put("id", r.ID)
+	put("title", r.Title)
+	put("header", r.Header...)
+	if r.Volatile {
+		put("rows", "volatile")
+	} else {
+		for _, row := range r.Rows {
+			put("row", row...)
+		}
+	}
+	for _, row := range r.PaperRows {
+		put("paper", row...)
+	}
+	put("notes", r.Notes...)
+	if r.Series != nil {
+		if err := r.Series.WriteCSV(h); err != nil {
+			return "", fmt.Errorf("experiment: digest series: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // WriteText renders the report for terminals.

@@ -1,0 +1,98 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzHungarian cross-checks Solve against exhaustive brute force on small
+// matrices: the returned assignment must be a valid permutation, the
+// returned total must equal the cost of that assignment, and it must match
+// the true optimum — in particular it can never beat brute force, which
+// would indicate the solver returned an infeasible matching.
+func FuzzHungarian(f *testing.F) {
+	f.Add(uint8(1), int64(1), false)
+	f.Add(uint8(3), int64(42), false)
+	f.Add(uint8(4), int64(7), true)
+	f.Add(uint8(5), int64(99), true)
+	f.Add(uint8(200), int64(-3), false) // size wraps to 1..5
+	f.Fuzz(func(t *testing.T, sizeByte uint8, seed int64, negatives bool) {
+		n := int(sizeByte)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				c := rng.Float64() * 10
+				if negatives {
+					c -= 5
+				}
+				cost[i][j] = c
+			}
+		}
+
+		assignment, total, err := Solve(cost)
+		if err != nil {
+			t.Fatalf("Solve failed on valid %dx%d matrix: %v", n, n, err)
+		}
+		if len(assignment) != n {
+			t.Fatalf("assignment length %d, want %d", len(assignment), n)
+		}
+		seen := make([]bool, n)
+		recomputed := 0.0
+		for i, j := range assignment {
+			if j < 0 || j >= n {
+				t.Fatalf("assignment[%d] = %d out of range [0,%d)", i, j, n)
+			}
+			if seen[j] {
+				t.Fatalf("assignment is not a permutation: column %d matched twice", j)
+			}
+			seen[j] = true
+			recomputed += cost[i][j]
+		}
+		const eps = 1e-9
+		if math.Abs(recomputed-total) > eps {
+			t.Fatalf("returned total %v does not match assignment cost %v", total, recomputed)
+		}
+
+		best := bruteForceMin(cost)
+		if total < best-eps {
+			t.Fatalf("total %v beats brute-force optimum %v: matching must be infeasible", total, best)
+		}
+		if total > best+eps {
+			t.Fatalf("total %v is suboptimal: brute-force optimum is %v", total, best)
+		}
+	})
+}
+
+// bruteForceMin finds the optimal assignment cost by trying all n!
+// permutations (n <= 5 keeps this at 120 candidates).
+func bruteForceMin(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			sum := 0.0
+			for i, j := range perm {
+				sum += cost[i][j]
+			}
+			if sum < best {
+				best = sum
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best
+}

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+)
+
+// Digester is a simulation result that can summarise itself as a canonical
+// digest: two results with equal digests are byte-identical for every
+// rendering the system produces (report text, CSV export). experiment.Report
+// is the canonical implementation.
+type Digester interface {
+	// Digest returns a stable hex digest of the result's canonical
+	// serialisation.
+	Digest() (string, error)
+}
+
+// Mismatch reports a determinism violation found by VerifySerialParallel:
+// the same unit produced different canonical results under serial and
+// parallel execution.
+type Mismatch struct {
+	// Serial and Parallel are the differing digests.
+	Serial, Parallel string
+	// Workers is the parallel worker count that exposed the divergence.
+	Workers int
+}
+
+// Error implements error.
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("runner: determinism violation: serial digest %s != parallel digest %s (workers=%d)",
+		m.Serial, m.Parallel, m.Workers)
+}
+
+// VerifySerialParallel runs one unit twice with identical inputs — first
+// with a single worker (the serial reference), then with the given worker
+// count — and compares the canonical digests of the two results. A nil
+// return proves the unit's output is independent of scheduling across the
+// pool; a *Mismatch return is a determinism bug: some state (an RNG, a
+// recorder, a task graph) is shared between concurrently running units.
+//
+// run receives the worker count to execute under; it must thread that value
+// into every internal sweep (e.g. via Map) and perform no other
+// configuration change between the two runs.
+func VerifySerialParallel(ctx context.Context, workers int, run func(ctx context.Context, workers int) (Digester, error)) error {
+	workers = Parallelism(workers)
+	serial, err := run(ctx, 1)
+	if err != nil {
+		return fmt.Errorf("runner: serial reference run: %w", err)
+	}
+	parallel, err := run(ctx, workers)
+	if err != nil {
+		return fmt.Errorf("runner: parallel run (workers=%d): %w", workers, err)
+	}
+	ds, err := serial.Digest()
+	if err != nil {
+		return fmt.Errorf("runner: serial digest: %w", err)
+	}
+	dp, err := parallel.Digest()
+	if err != nil {
+		return fmt.Errorf("runner: parallel digest: %w", err)
+	}
+	if ds != dp {
+		return &Mismatch{Serial: ds, Parallel: dp, Workers: workers}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+// Package runner fans independent simulation units — experiment × scheme ×
+// seed combinations — out across a bounded worker pool while keeping the
+// observable behaviour indistinguishable from a serial loop: results come
+// back in input order regardless of completion order, every unit runs even
+// when earlier ones fail (fail-slow error aggregation), and cancellation
+// stops dispatch promptly without abandoning results already computed.
+//
+// The package also hosts the determinism-verification harness (see
+// VerifySerialParallel): because every simulation unit owns its RNGs, task
+// graph and recorders, running a unit under the pool must produce the exact
+// bytes a serial run produces. The harness turns that requirement into an
+// enforced invariant by comparing canonical digests of serial and parallel
+// runs.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Parallelism resolves a worker-count request: n >= 1 is used as given;
+// zero or negative selects GOMAXPROCS, i.e. "as parallel as the hardware
+// allows".
+func Parallelism(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// UnitError records the failure of one unit of a Map call.
+type UnitError struct {
+	// Index is the unit's position in the input slice.
+	Index int
+	// Err is the failure; ctx.Err() for units never dispatched because
+	// the context was cancelled first.
+	Err error
+}
+
+// Error implements error.
+func (e *UnitError) Error() string {
+	return fmt.Sprintf("unit %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *UnitError) Unwrap() error { return e.Err }
+
+// Errors aggregates unit failures in input order. Map returns it whenever
+// at least one unit failed; successful units' results are still present in
+// the result slice.
+type Errors []*UnitError
+
+// Error implements error, summarising every failure.
+func (e Errors) Error() string {
+	if len(e) == 1 {
+		return fmt.Sprintf("runner: %v", e[0])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: %d units failed:", len(e))
+	for _, u := range e {
+		b.WriteString("\n\t")
+		b.WriteString(u.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual unit errors to errors.Is/As.
+func (e Errors) Unwrap() []error {
+	out := make([]error, len(e))
+	for i, u := range e {
+		out[i] = u
+	}
+	return out
+}
+
+// Map runs fn over every input on a pool of workers (see Parallelism for
+// the worker-count convention) and returns the outputs in input order,
+// regardless of the order units complete in.
+//
+// Map is fail-slow: a failing unit does not stop the others. When any unit
+// fails, Map returns the full result slice (zero values at failed indices)
+// together with an Errors value listing every failure in input order. A
+// panicking unit is captured and reported as that unit's error rather than
+// crashing the pool.
+//
+// Cancelling ctx stops the dispatch of not-yet-started units; those units
+// report ctx.Err(). Units already running are not interrupted (simulation
+// units are CPU-bound and short; fn may of course observe ctx itself).
+func Map[I, O any](ctx context.Context, workers int, inputs []I, fn func(ctx context.Context, in I) (O, error)) ([]O, error) {
+	results := make([]O, len(inputs))
+	errs := make([]error, len(inputs))
+	workers = Parallelism(workers)
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+
+	if workers <= 1 {
+		// Serial fast path: identical semantics, no goroutines. This is
+		// the reference behaviour the determinism harness compares
+		// parallel runs against.
+		for i := range inputs {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i], errs[i] = runUnit(ctx, inputs[i], fn)
+		}
+		return results, collect(errs)
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i], errs[i] = runUnit(ctx, inputs[i], fn)
+			}
+		}()
+	}
+	// Dispatch in input order; stop handing out work once ctx is done,
+	// even while blocked waiting for a free worker.
+	cancelled := -1
+	for i := range inputs {
+		// Check first so at most one unit is dispatched after
+		// cancellation (select alone picks randomly between a ready
+		// worker and the done channel).
+		if ctx.Err() != nil {
+			cancelled = i
+			break
+		}
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			cancelled = i
+		}
+		if cancelled >= 0 {
+			break
+		}
+	}
+	close(indices)
+	wg.Wait()
+	if cancelled >= 0 {
+		for i := cancelled; i < len(inputs); i++ {
+			errs[i] = ctx.Err()
+		}
+	}
+	return results, collect(errs)
+}
+
+// runUnit executes one unit, converting panics into errors so a single bad
+// unit cannot take down the whole sweep.
+func runUnit[I, O any](ctx context.Context, in I, fn func(ctx context.Context, in I) (O, error)) (out O, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: unit panicked: %v", r)
+		}
+	}()
+	return fn(ctx, in)
+}
+
+// collect folds per-index errors into an Errors value, or nil if none.
+func collect(errs []error) error {
+	var out Errors
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, &UnitError{Index: i, Err: err})
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestParallelismResolve(t *testing.T) {
+	if got := Parallelism(3); got != 3 {
+		t.Errorf("Parallelism(3) = %d, want 3", got)
+	}
+	if got := Parallelism(1); got != 1 {
+		t.Errorf("Parallelism(1) = %d, want 1", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Parallelism(0); got != want {
+		t.Errorf("Parallelism(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Parallelism(-5); got != want {
+		t.Errorf("Parallelism(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestMapInputOrder checks that results come back in input order even when
+// completion order is scrambled: earlier units sleep longer than later ones.
+func TestMapInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			inputs := make([]int, 32)
+			for i := range inputs {
+				inputs[i] = i
+			}
+			out, err := Map(context.Background(), workers, inputs, func(_ context.Context, i int) (int, error) {
+				time.Sleep(time.Duration(len(inputs)-i) * 100 * time.Microsecond)
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestMapFailSlow checks the fail-slow contract: every unit runs, every
+// failure is reported (in input order), and successful results survive.
+func TestMapFailSlow(t *testing.T) {
+	boom := errors.New("boom")
+	inputs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	out, err := Map(context.Background(), 4, inputs, func(_ context.Context, i int) (int, error) {
+		if i%3 == 0 {
+			return 0, fmt.Errorf("unit %d: %w", i, boom)
+		}
+		return i + 100, nil
+	})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	var errs Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("error type %T, want Errors", err)
+	}
+	wantFailed := []int{0, 3, 6}
+	if len(errs) != len(wantFailed) {
+		t.Fatalf("got %d unit errors, want %d: %v", len(errs), len(wantFailed), err)
+	}
+	for i, ue := range errs {
+		if ue.Index != wantFailed[i] {
+			t.Errorf("error %d has index %d, want %d", i, ue.Index, wantFailed[i])
+		}
+		if !errors.Is(ue, boom) {
+			t.Errorf("error %d does not unwrap to boom: %v", i, ue)
+		}
+	}
+	if !errors.Is(err, boom) {
+		t.Error("aggregate error does not unwrap to the unit cause")
+	}
+	for _, i := range []int{1, 2, 4, 5, 7} {
+		if out[i] != i+100 {
+			t.Errorf("successful unit %d lost its result: got %d", i, out[i])
+		}
+	}
+}
+
+// TestMapPanicIsolated checks a panicking unit becomes that unit's error
+// instead of killing the pool.
+func TestMapPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map(context.Background(), workers, []int{0, 1, 2}, func(_ context.Context, i int) (string, error) {
+			if i == 1 {
+				panic("kaboom")
+			}
+			return fmt.Sprintf("ok-%d", i), nil
+		})
+		var errs Errors
+		if !errors.As(err, &errs) || len(errs) != 1 || errs[0].Index != 1 {
+			t.Fatalf("workers=%d: want exactly unit 1 to fail, got %v", workers, err)
+		}
+		if out[0] != "ok-0" || out[2] != "ok-2" {
+			t.Errorf("workers=%d: neighbours of panicking unit lost results: %q", workers, out)
+		}
+	}
+}
+
+// TestMapCancel checks cancellation stops dispatch and marks undispatched
+// units with the context error, while completed units keep their results.
+func TestMapCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, 64)
+	release := make(chan struct{})
+	inputs := make([]int, 16)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Map(ctx, 2, inputs, func(_ context.Context, i int) (int, error) {
+			started <- i
+			<-release
+			return i, nil
+		})
+	}()
+	// Let the two workers pick up the first two units, then cancel.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	<-done
+
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	var errs Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("error type %T, want Errors", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("aggregate error does not unwrap to context.Canceled: %v", err)
+	}
+	// The in-flight units (at least the first two) completed with results;
+	// every failed unit reports ctx.Err(); failed + succeeded = all.
+	failed := make(map[int]bool, len(errs))
+	for _, ue := range errs {
+		if !errors.Is(ue.Err, context.Canceled) {
+			t.Errorf("unit %d failed with %v, want context.Canceled", ue.Index, ue.Err)
+		}
+		failed[ue.Index] = true
+	}
+	if failed[0] || failed[1] {
+		t.Error("units dispatched before cancellation were marked cancelled")
+	}
+	for i := range inputs {
+		if !failed[i] && out[i] != i {
+			t.Errorf("completed unit %d has result %d, want %d", i, out[i], i)
+		}
+	}
+	if len(failed) == 0 {
+		t.Error("cancellation marked no unit as undispatched")
+	}
+}
+
+// TestMapConcurrencyReached proves the pool really runs units concurrently:
+// four units rendezvous at a barrier that only opens when all four are
+// in flight, which deadlocks (and times out) if the pool were serial.
+func TestMapConcurrencyReached(t *testing.T) {
+	const n = 4
+	arrive := make(chan struct{}, n)
+	release := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			<-arrive
+		}
+		close(release)
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(context.Background(), n, make([]struct{}, n), func(_ context.Context, _ struct{}) (struct{}, error) {
+			arrive <- struct{}{}
+			<-release
+			return struct{}{}, nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool never had 4 units in flight simultaneously")
+	}
+}
+
+// TestMapEmptyAndSingle covers the degenerate shapes.
+func TestMapEmptyAndSingle(t *testing.T) {
+	out, err := Map(context.Background(), 8, nil, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty inputs: out=%v err=%v", out, err)
+	}
+	out, err = Map(context.Background(), 8, []int{7}, func(_ context.Context, i int) (int, error) { return i * 2, nil })
+	if err != nil || len(out) != 1 || out[0] != 14 {
+		t.Fatalf("single input: out=%v err=%v", out, err)
+	}
+}
+
+// TestVerifySerialParallelDetectsMismatch feeds the harness a deliberately
+// scheduling-dependent unit and checks it reports a Mismatch, then feeds it
+// a deterministic unit and checks it passes.
+func TestVerifySerialParallelDetectsMismatch(t *testing.T) {
+	calls := 0
+	bad := func(ctx context.Context, workers int) (Digester, error) {
+		calls++
+		return digestString(fmt.Sprintf("run-%d-workers-%d", calls, workers)), nil
+	}
+	err := VerifySerialParallel(context.Background(), 4, bad)
+	var mm *Mismatch
+	if !errors.As(err, &mm) {
+		t.Fatalf("want *Mismatch, got %v", err)
+	}
+	if mm.Workers != 4 {
+		t.Errorf("Mismatch.Workers = %d, want 4", mm.Workers)
+	}
+
+	good := func(ctx context.Context, workers int) (Digester, error) {
+		return digestString("stable"), nil
+	}
+	if err := VerifySerialParallel(context.Background(), 4, good); err != nil {
+		t.Errorf("deterministic unit rejected: %v", err)
+	}
+}
+
+type digestString string
+
+func (d digestString) Digest() (string, error) { return string(d), nil }
