@@ -7,9 +7,10 @@ GO ?= go
 # pool fans out (experiments, the simulation engine, the scenarios) and the
 # wall-clock executor.
 RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
-             ./internal/engine/... ./internal/scenario/... ./internal/rt/...
+             ./internal/engine/... ./internal/scenario/... ./internal/rt/... \
+             ./internal/lifecycle/...
 
-.PHONY: ci vet build test race bench fuzz suite
+.PHONY: ci vet build test race bench fuzz suite trace-demo
 
 ## ci: the tier-1 gate — vet, build, full test suite, then the race pass.
 ci: vet build test race
@@ -40,3 +41,8 @@ fuzz:
 ## suite: run every experiment once, fanned across GOMAXPROCS workers.
 suite:
 	$(GO) run ./cmd/hcperf-sim -mode suite -parallel 0
+
+## trace-demo: export a per-job lifecycle trace of the car-following
+## scenario; open trace.json in chrome://tracing or Perfetto.
+trace-demo:
+	$(GO) run ./cmd/hcperf-sim -scenario carfollow -scheme hcperf -duration 20 -trace trace.json

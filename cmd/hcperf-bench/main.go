@@ -55,18 +55,15 @@ func run(exp string, seed int64, csvDir string, list bool, parallel int) error {
 	if err != nil {
 		return err
 	}
-	for _, rep := range reports {
-		if err := rep.WriteText(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		if csvDir != "" {
+	if err := experiment.WriteReports(os.Stdout, reports); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		for _, rep := range reports {
 			if err := rep.WriteCSV(csvDir); err != nil {
 				return err
 			}
 		}
-	}
-	if csvDir != "" {
 		fmt.Printf("CSV series written to %s\n", csvDir)
 	}
 	return nil

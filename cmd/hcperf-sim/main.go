@@ -5,6 +5,8 @@
 // Usage:
 //
 //	hcperf-sim -scenario carfollow -scheme hcperf [-seed 1] [-duration 90] [-csv run.csv]
+//	hcperf-sim -scenario carfollow -trace out.json     # Chrome-trace job timeline
+//	hcperf-sim -scenario carfollow -trace out.csv      # same events as flat CSV
 //	hcperf-sim -scenario lanekeep  -scheme apollo
 //	hcperf-sim -scenario motivation -scheme apollo
 //	hcperf-sim -scenario hardware  -scheme edf
@@ -20,10 +22,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"hcperf/internal/dag"
 	"hcperf/internal/experiment"
+	"hcperf/internal/lifecycle"
 	"hcperf/internal/rt"
 	"hcperf/internal/scenario"
 	"hcperf/internal/sched"
@@ -38,11 +42,12 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		duration     = flag.Float64("duration", 0, "override scenario duration (seconds; 0 = default)")
 		csvPath      = flag.String("csv", "", "write recorded series to this CSV file")
+		tracePath    = flag.String("trace", "", "write per-job lifecycle events to this file (.csv = CSV, else Chrome trace JSON)")
 		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite)")
 		parallel     = flag.Int("parallel", 1, "suite worker count: N>=1 workers, 0 = GOMAXPROCS")
 	)
 	flag.Parse()
-	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *mode, *parallel); err != nil {
+	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *mode, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
 		os.Exit(1)
 	}
@@ -67,19 +72,79 @@ func parseScheme(name string) (scenario.Scheme, error) {
 	}
 }
 
-func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, mode string, parallel int) error {
+// traceCapacity bounds the in-memory lifecycle event buffer: at the
+// 23-task graph's aggregate job rate a full-length run fits comfortably,
+// and overflow drops oldest-first with a warning rather than growing
+// without bound.
+const traceCapacity = 1 << 20
+
+// newTraceRing returns the lifecycle collector for -trace, or nil when the
+// flag is unset.
+func newTraceRing(tracePath string) (*lifecycle.Ring, error) {
+	if tracePath == "" {
+		return nil, nil
+	}
+	return lifecycle.NewRing(traceCapacity)
+}
+
+// writeTrace exports the collected lifecycle events: .csv gets the flat CSV
+// schema, anything else the Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto.
+func writeTrace(tracePath string, ring *lifecycle.Ring) error {
+	if ring == nil {
+		return nil
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events := ring.Events()
+	if strings.HasSuffix(tracePath, ".csv") {
+		err = lifecycle.WriteCSV(f, events)
+	} else {
+		err = lifecycle.WriteChromeTrace(f, events)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if n := ring.Dropped(); n > 0 {
+		fmt.Printf("trace: %d oldest events dropped (buffer capacity %d)\n", n, traceCapacity)
+	}
+	fmt.Printf("%d lifecycle events written to %s\n", len(events), tracePath)
+	return nil
+}
+
+func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, tracePath, mode string, parallel int) error {
 	if mode == "suite" || mode == "experiments" {
+		if tracePath != "" {
+			return fmt.Errorf("-trace is not supported in suite mode")
+		}
 		return runSuite(seed, parallel)
 	}
 	scheme, err := parseScheme(schemeName)
 	if err != nil {
 		return err
 	}
+	ring, err := newTraceRing(tracePath)
+	if err != nil {
+		return err
+	}
 	if mode == "rt" {
-		return runWallClock(scheme, seed, duration)
+		if err := runWallClock(scheme, seed, duration, ring); err != nil {
+			return err
+		}
+		return writeTrace(tracePath, ring)
 	}
 	if mode != "sim" {
 		return fmt.Errorf("unknown mode %q", mode)
+	}
+	var tracer lifecycle.Tracer
+	if ring != nil {
+		tracer = ring
 	}
 
 	var rec *trace.Recorder
@@ -99,6 +164,7 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		if duration > 0 {
 			cfg.Duration = duration
 		}
+		cfg.Tracer = tracer
 		r, err := scenario.RunCarFollowing(cfg)
 		if err != nil {
 			return err
@@ -119,6 +185,7 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		if duration > 0 {
 			cfg.Duration = duration
 		}
+		cfg.Tracer = tracer
 		r, err := scenario.RunLaneKeeping(cfg)
 		if err != nil {
 			return err
@@ -134,6 +201,7 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		if duration > 0 {
 			cfg.Duration = duration
 		}
+		cfg.Tracer = tracer
 		r, err := scenario.RunCombined(cfg)
 		if err != nil {
 			return err
@@ -149,6 +217,7 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		if duration > 0 {
 			cfg.Duration = duration
 		}
+		cfg.Tracer = tracer
 		r, err := scenario.RunMotivation(cfg)
 		if err != nil {
 			return err
@@ -177,7 +246,7 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		}
 		fmt.Printf("series written to %s\n", csvPath)
 	}
-	return nil
+	return writeTrace(tracePath, ring)
 }
 
 // runSuite reproduces the full evaluation — every registered experiment —
@@ -193,11 +262,8 @@ func runSuite(seed int64, parallel int) error {
 	if err != nil {
 		return err
 	}
-	for _, rep := range reports {
-		if err := rep.WriteText(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
+	if err := experiment.WriteReports(os.Stdout, reports); err != nil {
+		return err
 	}
 	fmt.Printf("suite: %d experiments, seed %d, parallel=%d, %.2fs\n",
 		len(reports), seed, parallel, time.Since(start).Seconds())
@@ -207,7 +273,7 @@ func runSuite(seed int64, parallel int) error {
 // runWallClock demonstrates the real-time executor: the 23-task graph on
 // wall clock with a synthetic oscillating tracking error driving the HCPerf
 // coordinators.
-func runWallClock(scheme scenario.Scheme, seed int64, duration float64) error {
+func runWallClock(scheme scenario.Scheme, seed int64, duration float64, tracer *lifecycle.Ring) error {
 	if duration <= 0 {
 		duration = 5
 	}
@@ -234,7 +300,7 @@ func runWallClock(scheme scenario.Scheme, seed int64, duration float64) error {
 	default:
 		return fmt.Errorf("unsupported scheme %v", scheme)
 	}
-	ex, err := rt.New(rt.Config{
+	cfg := rt.Config{
 		Graph:           graph,
 		Scheduler:       scheduler,
 		NumProcs:        2,
@@ -242,7 +308,11 @@ func runWallClock(scheme scenario.Scheme, seed int64, duration float64) error {
 		TrackingError:   trackErr,
 		DisableExternal: scheme == scenario.SchemeHCPerfInternal,
 		MaxDataAge:      220 * simtime.Millisecond,
-	})
+	}
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
+	ex, err := rt.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -260,7 +330,9 @@ func runWallClock(scheme scenario.Scheme, seed int64, duration float64) error {
 			float64(ex.Elapsed()), st.Released, st.Completed, st.Missed,
 			st.ControlCommands, st.MissRatio())
 	}
-	ex.Stop()
+	if err := ex.Stop(); err != nil {
+		return err
+	}
 	st := ex.Stats()
 	fmt.Printf("final: commands=%d miss=%.4f e2e-miss=%.4f\n",
 		st.ControlCommands, st.MissRatio(), st.E2EMissRatio())

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hcperf/internal/scenario"
@@ -39,7 +41,7 @@ func TestRunScenariosShort(t *testing.T) {
 	for _, sc := range []string{"carfollow", "lanekeep", "motivation", "hardware", "jam", "combined"} {
 		t.Run(sc, func(t *testing.T) {
 			dur := 5.0
-			if err := run(sc, "edf", 1, dur, "", "sim", 1); err != nil {
+			if err := run(sc, "edf", 1, dur, "", "", "sim", 1); err != nil {
 				t.Fatalf("run(%s): %v", sc, err)
 			}
 		})
@@ -48,7 +50,7 @@ func TestRunScenariosShort(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "hcperf", 1, 5, path, "sim", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 5, path, "", "sim", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -60,6 +62,56 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 }
 
+func TestRunWritesChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := run("carfollow", "hcperf", 1, 5, "", path, "sim", 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid Chrome-trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Error("trace has no duration slices")
+	}
+}
+
+func TestRunWritesTraceCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.csv")
+	if err := run("carfollow", "edf", 1, 5, "", path, "sim", 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace CSV has %d lines, want header plus events", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "kind,task,cycle") {
+		t.Errorf("unexpected trace CSV header %q", lines[0])
+	}
+}
+
 func TestRunSuiteParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
@@ -67,19 +119,19 @@ func TestRunSuiteParallel(t *testing.T) {
 	// The suite must complete through the worker pool with multiple
 	// workers; determinism vs the serial run is enforced separately in
 	// internal/runner's harness tests.
-	if err := run("", "", 1, 0, "", "suite", 4); err != nil {
+	if err := run("", "", 1, 0, "", "", "suite", 4); err != nil {
 		t.Fatalf("suite run: %v", err)
 	}
 }
 
 func TestRunRejectsInvalid(t *testing.T) {
-	if err := run("bogus", "edf", 1, 0, "", "sim", 1); err == nil {
+	if err := run("bogus", "edf", 1, 0, "", "", "sim", 1); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("carfollow", "bogus", 1, 0, "", "sim", 1); err == nil {
+	if err := run("carfollow", "bogus", 1, 0, "", "", "sim", 1); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("carfollow", "edf", 1, 0, "", "bogus", 1); err == nil {
+	if err := run("carfollow", "edf", 1, 0, "", "", "bogus", 1); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
@@ -88,10 +140,10 @@ func TestRunWallClockBriefly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock run")
 	}
-	if err := run("carfollow", "hcperf", 1, 2, "", "rt", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 2, "", "", "rt", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("carfollow", "edf", 1, 2, "", "rt", 1); err != nil {
+	if err := run("carfollow", "edf", 1, 2, "", "", "rt", 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -3,71 +3,44 @@
 // DAG task sets on M identical processors with non-preemptive,
 // policy-driven dispatch.
 //
-// Semantics (paper §III-A):
-//
-//   - Source (sensing) tasks are sensor-driver tasks: they release
-//     periodically at their configured rate and run off-CPU (sensor
-//     hardware/DMA produces the data), delivering their output after their
-//     sampled capture latency. The Task Rate Adapter may retune their rates
-//     at runtime.
-//   - A non-source task is data-triggered: it releases when its primary
-//     predecessor (the first predecessor edge) delivers fresh output,
-//     reading the latest output of its remaining predecessors (Cyber RT
-//     channel semantics). It first fires once every predecessor has
-//     produced at least one output.
-//   - A job must complete both within its relative deadline of its release
-//     and within its end-to-end budget of the sensing instant that produced
-//     its input data (the paper's end-to-end deadline from sensing to
-//     control: the budget is the max path sum of relative deadlines from
-//     the sources). Otherwise its output is discarded — successors never
-//     see it — and the job counts as a deadline miss.
-//   - Completion of a control (sink) task on time emits a control command,
-//     delivered to the registered callback and published on the bus.
+// The job-lifecycle semantics (paper §III-A) — periodic source release with
+// off-CPU capture latency, data-triggered release on the primary
+// predecessor, relative-deadline and end-to-end-budget expiry, discard of
+// late output, control-command emission — live in the shared
+// internal/lifecycle kernel; this package is the kernel's discrete-event
+// Backend. It contributes exactly the execution substrate: a
+// simtime.EventQueue for time, tickers for source rates, and an
+// M-processor non-preemptive dispatch loop.
 package engine
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"hcperf/internal/bus"
 	"hcperf/internal/dag"
 	"hcperf/internal/exectime"
+	"hcperf/internal/lifecycle"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
-	"hcperf/internal/stats"
 )
 
 // ControlTopic is the bus topic on which control commands are published.
 const ControlTopic = "hcperf/control"
 
-// ControlCommand describes one completed control-task job.
-type ControlCommand struct {
-	// Task is the control task that produced the command.
-	Task *dag.Task
-	// Cycle is the control task's release sequence number.
-	Cycle uint64
-	// Release is when the control job entered the ready queue.
-	Release simtime.Time
-	// Completed is when the control job finished executing.
-	Completed simtime.Time
-	// SourceTime is the release instant of the oldest sensing data that
-	// flowed into this command; Completed-SourceTime is the end-to-end
-	// pipeline latency.
-	SourceTime simtime.Time
-}
-
-// ResponseTime returns how long the control job waited plus ran.
-func (c ControlCommand) ResponseTime() simtime.Duration { return c.Completed - c.Release }
-
-// EndToEndLatency returns sensing-to-actuation latency.
-func (c ControlCommand) EndToEndLatency() simtime.Duration { return c.Completed - c.SourceTime }
-
-// QueueObserver is implemented by schedulers (HCPerf's Dynamic) that want
-// to re-derive internal state whenever the ready queue changes.
-type QueueObserver interface {
-	Recompute(now simtime.Time, ready []*sched.Job, state *sched.ProcState)
-}
+// Canonical lifecycle types, re-exported so existing callers (examples,
+// scenarios) keep compiling unchanged.
+type (
+	// ControlCommand describes one completed control-task job.
+	ControlCommand = lifecycle.ControlCommand
+	// Stats aggregates engine-wide outcomes.
+	Stats = lifecycle.Stats
+	// TaskStats aggregates per-task outcomes.
+	TaskStats = lifecycle.TaskStats
+	// QueueObserver is implemented by schedulers (HCPerf's Dynamic) that
+	// want to re-derive internal state whenever the ready queue changes.
+	QueueObserver = lifecycle.QueueObserver
+)
 
 // Config configures an Engine.
 type Config struct {
@@ -92,57 +65,10 @@ type Config struct {
 	// completion or queue expiration.
 	OnJobDecided func(now simtime.Time, j *sched.Job, missed bool)
 	// MaxDataAge, when positive, bounds the age of every input a task
-	// may consume: a data-triggered release whose auxiliary inputs are
-	// older than this is invalid — the cycle is lost and counts as a
-	// deadline miss of the consuming task (the paper's requirement that
-	// the whole sensing-to-control chain completes on time for a valid
-	// control command). Zero disables the bound.
+	// may consume (see lifecycle.Config.MaxDataAge). Zero disables.
 	MaxDataAge simtime.Duration
-}
-
-// TaskStats aggregates per-task outcomes.
-type TaskStats struct {
-	Released  uint64
-	Completed uint64
-	Missed    uint64 // late completions + expirations in queue
-	Expired   uint64 // subset of Missed: dropped from the queue unrun
-	ExecTime  stats.Accumulator
-}
-
-// Stats aggregates engine-wide outcomes.
-type Stats struct {
-	Released        uint64
-	Completed       uint64
-	Missed          uint64
-	Expired         uint64
-	ControlCommands uint64
-	// E2EDecided and E2EMissed count only control (sink) jobs: their
-	// deadline outcomes are the system's end-to-end deadline outcomes.
-	E2EDecided      uint64
-	E2EMissed       uint64
-	ControlResponse stats.Accumulator
-	EndToEnd        stats.Accumulator
-}
-
-// MissRatio returns misses over decided jobs (completed+missed), the
-// paper's deadline miss ratio m.
-func (s *Stats) MissRatio() float64 {
-	decided := s.Completed + s.Missed
-	if decided == 0 {
-		return 0
-	}
-	return float64(s.Missed) / float64(decided)
-}
-
-// E2EMissRatio returns the end-to-end deadline miss ratio: misses over
-// decided control jobs. With no decided control jobs it reports 1 if any
-// control job was ever released (a fully starved pipeline is the worst
-// case), else 0.
-func (s *Stats) E2EMissRatio() float64 {
-	if s.E2EDecided == 0 {
-		return 0
-	}
-	return float64(s.E2EMissed) / float64(s.E2EDecided)
+	// Tracer optionally receives the structured lifecycle event stream.
+	Tracer lifecycle.Tracer
 }
 
 type processor struct {
@@ -151,127 +77,99 @@ type processor struct {
 	busyTotal simtime.Duration
 }
 
-type edgeKey struct {
-	from, to dag.TaskID
-}
-
-// edgeData is the latest-value channel state of one precedence edge.
-type edgeData struct {
-	// fresh marks unconsumed data (meaningful on primary edges).
-	fresh bool
-	// has marks that the edge has carried data at least once.
-	has bool
-	// sourceTime is the capture instant at the root of the producing
-	// job's primary chain.
-	sourceTime simtime.Time
-	// producedAt is when the value was written.
-	producedAt simtime.Time
-}
-
 // Engine executes a task graph under a scheduling policy on virtual time.
 type Engine struct {
-	graph     *dag.Graph
-	sch       sched.Scheduler
-	q         *simtime.EventQueue
-	rng       *rand.Rand
-	scene     func(now simtime.Time) exectime.Scene
-	b         *bus.Bus
-	onCmd     func(cmd ControlCommand)
-	onDecided func(now simtime.Time, j *sched.Job, missed bool)
+	k *lifecycle.Kernel
+	q *simtime.EventQueue
+	b *bus.Bus
 
-	procs    []processor
-	ready    []*sched.Job
-	edges    map[edgeKey]*edgeData
-	observed []simtime.Duration // c_i per task: last observed execution time
-	cycles   []uint64           // per-task release counter
-	rates    []float64          // current rate per task (sources only)
-	tickers  map[dag.TaskID]*simtime.Ticker
+	procs   []processor
+	tickers map[dag.TaskID]*simtime.Ticker
+	started bool
+}
 
-	budgets  []simtime.Duration // end-to-end deadline budget per task
-	maxAge   simtime.Duration
-	total    Stats
-	window   Stats // reset by ResetWindow (Task Rate Adapter sampling)
-	perTask  []TaskStats
-	started  bool
-	observer QueueObserver
+// backend adapts the Engine onto lifecycle.Backend: capture latencies are
+// event-queue timers, waking idle processors is a dispatch pass.
+type backend struct {
+	e *Engine
+}
+
+// DeliverAfter implements lifecycle.Backend.
+func (b backend) DeliverAfter(now simtime.Time, d simtime.Duration, fn func(at simtime.Time)) {
+	// Delivery is never scheduled in the past relative to now, so
+	// Schedule cannot fail.
+	if _, err := b.e.q.Schedule(now+d, fn); err != nil {
+		panic(fmt.Sprintf("engine: schedule delivery: %v", err))
+	}
+}
+
+// Wake implements lifecycle.Backend.
+func (b backend) Wake(now simtime.Time) { b.e.dispatch(now) }
+
+// ProcState implements lifecycle.Backend.
+func (b backend) ProcState(now simtime.Time) *sched.ProcState {
+	e := b.e
+	st := &sched.ProcState{
+		NumProcs:  len(e.procs),
+		Remaining: make([]simtime.Duration, len(e.procs)),
+	}
+	for i := range e.procs {
+		if e.procs[i].busyUntil > now {
+			st.Remaining[i] = e.procs[i].busyUntil - now
+		}
+	}
+	return st
 }
 
 // New validates the configuration and builds an engine. Start must be
 // called to begin releasing source tasks.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Graph == nil {
-		return nil, errors.New("engine: nil graph")
-	}
-	if err := cfg.Graph.Validate(); err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
-	}
-	if cfg.Scheduler == nil {
-		return nil, errors.New("engine: nil scheduler")
-	}
 	if cfg.NumProcs < 1 {
 		return nil, fmt.Errorf("engine: NumProcs %d < 1", cfg.NumProcs)
 	}
 	if cfg.Queue == nil {
 		return nil, errors.New("engine: nil event queue")
 	}
-	scene := cfg.Scene
-	if scene == nil {
-		scene = func(simtime.Time) exectime.Scene { return exectime.NominalScene() }
-	}
-	n := cfg.Graph.Len()
 	e := &Engine{
-		graph:     cfg.Graph,
-		sch:       cfg.Scheduler,
-		q:         cfg.Queue,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		scene:     scene,
-		b:         cfg.Bus,
-		onCmd:     cfg.OnControl,
-		onDecided: cfg.OnJobDecided,
-		procs:     make([]processor, cfg.NumProcs),
-		edges:     make(map[edgeKey]*edgeData),
-		observed:  make([]simtime.Duration, n),
-		cycles:    make([]uint64, n),
-		rates:     make([]float64, n),
-		tickers:   make(map[dag.TaskID]*simtime.Ticker),
-		perTask:   make([]TaskStats, n),
-		maxAge:    cfg.MaxDataAge,
+		q:       cfg.Queue,
+		b:       cfg.Bus,
+		procs:   make([]processor, cfg.NumProcs),
+		tickers: make(map[dag.TaskID]*simtime.Ticker),
 	}
-	for _, t := range cfg.Graph.Tasks() {
-		e.observed[t.ID] = t.Exec.Nominal()
-		e.rates[t.ID] = t.Rate
-		for _, s := range cfg.Graph.Successors(t.ID) {
-			e.edges[edgeKey{from: t.ID, to: s}] = &edgeData{}
+	onControl := cfg.OnControl
+	if cfg.Bus != nil {
+		user := cfg.OnControl
+		onControl = func(cmd ControlCommand) {
+			if user != nil {
+				user(cmd)
+			}
+			// Publish errors are impossible for a non-empty constant
+			// topic.
+			if err := cfg.Bus.Publish(ControlTopic, cmd); err != nil {
+				panic(fmt.Sprintf("engine: publish control: %v", err))
+			}
 		}
 	}
-	if obs, ok := cfg.Scheduler.(QueueObserver); ok {
-		e.observer = obs
-	}
-	topo, err := cfg.Graph.TopoOrder()
+	k, err := lifecycle.NewKernel(lifecycle.Config{
+		Graph:        cfg.Graph,
+		Scheduler:    cfg.Scheduler,
+		Seed:         cfg.Seed,
+		Scene:        cfg.Scene,
+		MaxDataAge:   cfg.MaxDataAge,
+		OnControl:    onControl,
+		OnJobDecided: cfg.OnJobDecided,
+		Tracer:       cfg.Tracer,
+	}, backend{e})
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	e.budgets = make([]simtime.Duration, n)
-	for _, id := range topo {
-		var longest simtime.Duration
-		for _, p := range cfg.Graph.Predecessors(id) {
-			if e.budgets[p] > longest {
-				longest = e.budgets[p]
-			}
-		}
-		e.budgets[id] = longest + cfg.Graph.Task(id).RelDeadline
-	}
+	e.k = k
 	return e, nil
 }
 
 // EndToEndBudget returns the task's end-to-end deadline budget: the
 // largest sum of relative deadlines along any source-to-task path.
-func (e *Engine) EndToEndBudget(id dag.TaskID) simtime.Duration {
-	if id < 0 || int(id) >= len(e.budgets) {
-		return 0
-	}
-	return e.budgets[id]
-}
+func (e *Engine) EndToEndBudget(id dag.TaskID) simtime.Duration { return e.k.EndToEndBudget(id) }
 
 // Start schedules the first release of every source task at the queue's
 // current time. It may be called once.
@@ -281,11 +179,11 @@ func (e *Engine) Start() error {
 	}
 	e.started = true
 	now := e.q.Now()
-	for _, src := range e.graph.Sources() {
+	for _, src := range e.k.Graph().Sources() {
 		id := src.ID
-		period := simtime.Duration(1 / e.rates[id])
+		period := simtime.Duration(1 / e.k.Rate(id))
 		tk, err := e.q.NewTicker(now, period, func(tick simtime.Time) {
-			e.releaseSource(tick, id)
+			e.k.SourceFired(tick, id)
 		})
 		if err != nil {
 			return fmt.Errorf("engine: start source %q: %w", src.Name, err)
@@ -305,7 +203,7 @@ func (e *Engine) Stop() {
 // SetSourceRate retunes a source task's release rate, clamped to the
 // task's [MinRate, MaxRate]. It returns the rate actually applied.
 func (e *Engine) SetSourceRate(id dag.TaskID, hz float64) (float64, error) {
-	t := e.graph.Task(id)
+	t := e.k.Graph().Task(id)
 	if t == nil {
 		return 0, fmt.Errorf("engine: unknown task %d", id)
 	}
@@ -313,34 +211,24 @@ func (e *Engine) SetSourceRate(id dag.TaskID, hz float64) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("engine: task %q is not a started source", t.Name)
 	}
-	if t.MaxRate > 0 {
-		if hz < t.MinRate {
-			hz = t.MinRate
-		}
-		if hz > t.MaxRate {
-			hz = t.MaxRate
-		}
-	} else {
-		hz = t.Rate // fixed-rate source
-	}
-	if hz <= 0 {
-		return 0, fmt.Errorf("engine: non-positive rate for %q", t.Name)
+	hz, err := e.k.SetRate(id, hz)
+	if err != nil {
+		return 0, fmt.Errorf("engine: %w", err)
 	}
 	if err := tk.SetPeriod(simtime.Duration(1 / hz)); err != nil {
 		return 0, err
 	}
-	e.rates[id] = hz
 	return hz, nil
 }
 
 // SourceRate returns the current rate of a source task.
-func (e *Engine) SourceRate(id dag.TaskID) float64 { return e.rates[id] }
+func (e *Engine) SourceRate(id dag.TaskID) float64 { return e.k.Rate(id) }
 
 // SourceRates returns the current rates of all source tasks keyed by ID.
 func (e *Engine) SourceRates() map[dag.TaskID]float64 {
 	out := make(map[dag.TaskID]float64, len(e.tickers))
 	for id := range e.tickers {
-		out[id] = e.rates[id]
+		out[id] = e.k.Rate(id)
 	}
 	return out
 }
@@ -352,7 +240,7 @@ func (e *Engine) ScaleSourceRates(factor float64) error {
 		return fmt.Errorf("engine: non-positive rate factor %v", factor)
 	}
 	for id := range e.tickers {
-		if _, err := e.SetSourceRate(id, e.rates[id]*factor); err != nil {
+		if _, err := e.SetSourceRate(id, e.k.Rate(id)*factor); err != nil {
 			return err
 		}
 	}
@@ -360,34 +248,35 @@ func (e *Engine) ScaleSourceRates(factor float64) error {
 }
 
 // Graph returns the executing graph.
-func (e *Engine) Graph() *dag.Graph { return e.graph }
+func (e *Engine) Graph() *dag.Graph { return e.k.Graph() }
 
 // Scheduler returns the dispatch policy.
-func (e *Engine) Scheduler() sched.Scheduler { return e.sch }
+func (e *Engine) Scheduler() sched.Scheduler { return e.k.Scheduler() }
 
 // QueueLen returns the current ready-queue length.
-func (e *Engine) QueueLen() int { return len(e.ready) }
+func (e *Engine) QueueLen() int { return e.k.QueueLen() }
 
 // Stats returns a copy of the engine-wide counters.
-func (e *Engine) Stats() Stats { return e.total }
+func (e *Engine) Stats() Stats { return e.k.Stats() }
 
 // WindowStats returns a copy of the counters since the last ResetWindow.
-func (e *Engine) WindowStats() Stats { return e.window }
+func (e *Engine) WindowStats() Stats { return e.k.WindowStats() }
 
 // ResetWindow zeroes the windowed counters; the Task Rate Adapter calls
 // this once per adaptation period.
-func (e *Engine) ResetWindow() { e.window = Stats{} }
+func (e *Engine) ResetWindow() { e.k.ResetWindow() }
 
 // TaskStats returns a copy of the per-task counters.
-func (e *Engine) TaskStats(id dag.TaskID) TaskStats {
-	if id < 0 || int(id) >= len(e.perTask) {
-		return TaskStats{}
-	}
-	return e.perTask[id]
-}
+func (e *Engine) TaskStats(id dag.TaskID) TaskStats { return e.k.TaskStats(id) }
 
 // ObservedExec returns the engine's current estimate of c_i.
-func (e *Engine) ObservedExec(id dag.TaskID) simtime.Duration { return e.observed[id] }
+func (e *Engine) ObservedExec(id dag.TaskID) simtime.Duration { return e.k.ObservedExec(id) }
+
+// RefreshScheduler re-runs the queue observer (if any) against the live
+// ready queue and processor state. The coordinator calls this after
+// installing a new nominal u so γ is re-derived immediately instead of at
+// the next queue change.
+func (e *Engine) RefreshScheduler() { e.k.RefreshObserver(e.q.Now()) }
 
 // Utilization returns mean processor utilisation over [0, now].
 func (e *Engine) Utilization() float64 {
@@ -407,157 +296,24 @@ func (e *Engine) Utilization() float64 {
 	return busy / (now * float64(len(e.procs)))
 }
 
-// releaseSource models one sensor capture: source tasks run off-CPU (the
-// sensor hardware produces the data), so the job completes after its
-// sampled capture latency without occupying a processor, then propagates
-// downstream. Captures never miss deadlines.
-func (e *Engine) releaseSource(now simtime.Time, id dag.TaskID) {
-	t := e.graph.Task(id)
-	e.cycles[id]++
-	j := &sched.Job{
-		Task:        t,
-		Cycle:       e.cycles[id],
-		Release:     now,
-		AbsDeadline: now + t.RelDeadline,
-		EstExec:     e.observed[id],
-		SourceTime:  now,
-	}
-	e.total.Released++
-	e.window.Released++
-	e.perTask[id].Released++
-	actual := t.Exec.Sample(e.rng, now, e.scene(now))
-	if actual < 0 {
-		actual = 0
-	}
-	if _, err := e.q.Schedule(now+actual, func(at simtime.Time) {
-		e.observed[id] = actual
-		e.perTask[id].ExecTime.Add(float64(actual))
-		e.total.Completed++
-		e.window.Completed++
-		e.perTask[id].Completed++
-		if e.onDecided != nil {
-			e.onDecided(at, j, false)
-		}
-		e.propagate(at, j)
-		e.dispatch(at)
-	}); err != nil {
-		panic(fmt.Sprintf("engine: schedule capture: %v", err))
-	}
-}
-
-// release creates a job for task id, appends it to the ready queue and
-// attempts dispatch.
-func (e *Engine) release(now simtime.Time, id dag.TaskID, sourceTime simtime.Time) {
-	t := e.graph.Task(id)
-	e.cycles[id]++
-	deadline := now + t.RelDeadline
-	if e2e := sourceTime + e.budgets[id]; e2e < deadline {
-		deadline = e2e
-	}
-	if t.E2E > 0 {
-		if e2e := sourceTime + t.E2E; e2e < deadline {
-			deadline = e2e
-		}
-	}
-	j := &sched.Job{
-		Task:        t,
-		Cycle:       e.cycles[id],
-		Release:     now,
-		AbsDeadline: deadline,
-		EstExec:     e.observed[id],
-		SourceTime:  sourceTime,
-	}
-	e.ready = append(e.ready, j)
-	e.total.Released++
-	e.window.Released++
-	e.perTask[id].Released++
-	e.queueChanged(now)
-	e.dispatch(now)
-}
-
-// RefreshScheduler re-runs the queue observer (if any) against the live
-// ready queue and processor state. The coordinator calls this after
-// installing a new nominal u so γ is re-derived immediately instead of at
-// the next queue change.
-func (e *Engine) RefreshScheduler() { e.queueChanged(e.q.Now()) }
-
-// queueChanged notifies a queue-observing scheduler (γmax re-derivation).
-func (e *Engine) queueChanged(now simtime.Time) {
-	if e.observer != nil {
-		e.observer.Recompute(now, e.ready, e.procState(now))
-	}
-}
-
-// procState snapshots the processor pool for the scheduler.
-func (e *Engine) procState(now simtime.Time) *sched.ProcState {
-	st := &sched.ProcState{
-		NumProcs:  len(e.procs),
-		Remaining: make([]simtime.Duration, len(e.procs)),
-	}
-	for i := range e.procs {
-		if e.procs[i].busyUntil > now {
-			st.Remaining[i] = e.procs[i].busyUntil - now
-		}
-	}
-	return st
-}
-
-// purgeExpired drops queued jobs whose deadline has already passed; they
-// can no longer produce valid output.
-func (e *Engine) purgeExpired(now simtime.Time) {
-	kept := e.ready[:0]
-	changed := false
-	for _, j := range e.ready {
-		if j.AbsDeadline <= now {
-			e.total.Missed++
-			e.total.Expired++
-			e.window.Missed++
-			e.window.Expired++
-			e.perTask[j.Task.ID].Missed++
-			e.perTask[j.Task.ID].Expired++
-			if j.Task.IsControl {
-				e.total.E2EDecided++
-				e.total.E2EMissed++
-				e.window.E2EDecided++
-				e.window.E2EMissed++
-			}
-			if e.onDecided != nil {
-				e.onDecided(now, j, true)
-			}
-			changed = true
-			continue
-		}
-		kept = append(kept, j)
-	}
-	e.ready = kept
-	if changed {
-		e.queueChanged(now)
-	}
-}
-
 // dispatch fills every idle processor according to the policy.
 func (e *Engine) dispatch(now simtime.Time) {
-	e.purgeExpired(now)
+	e.k.PurgeExpired(now)
 	for p := range e.procs {
-		if e.procs[p].busyUntil > now || len(e.ready) == 0 {
+		if e.procs[p].busyUntil > now {
 			continue
 		}
-		idx := e.sch.Select(now, e.ready, p, e.procState(now))
-		if idx < 0 {
+		j := e.k.Next(now, p)
+		if j == nil {
 			continue // no eligible job for this processor
 		}
-		j := e.ready[idx]
-		e.ready = append(e.ready[:idx], e.ready[idx+1:]...)
 		e.run(now, p, j)
 	}
 }
 
 // run executes job j on processor p, sampling its true execution time.
 func (e *Engine) run(now simtime.Time, p int, j *sched.Job) {
-	actual := j.Task.Exec.Sample(e.rng, now, e.scene(now))
-	if actual < 0 {
-		actual = 0
-	}
+	actual := e.k.SampleExec(now, j.Task)
 	finish := now + actual
 	e.procs[p].busyUntil = finish
 	e.procs[p].running = j
@@ -565,149 +321,9 @@ func (e *Engine) run(now simtime.Time, p int, j *sched.Job) {
 	// Completion events always run in the future relative to now, so
 	// Schedule cannot fail.
 	if _, err := e.q.Schedule(finish, func(at simtime.Time) {
-		e.complete(at, p, j, actual)
+		e.procs[p].running = nil
+		e.k.Complete(at, p, j, actual)
 	}); err != nil {
 		panic(fmt.Sprintf("engine: schedule completion: %v", err))
-	}
-}
-
-// complete finalises a job: deadline accounting, data propagation, control
-// emission, then refills the processor.
-func (e *Engine) complete(now simtime.Time, p int, j *sched.Job, actual simtime.Duration) {
-	e.procs[p].running = nil
-	id := j.Task.ID
-	e.observed[id] = actual
-	e.perTask[id].ExecTime.Add(float64(actual))
-
-	missed := now > j.AbsDeadline
-	if j.Task.IsControl {
-		e.total.E2EDecided++
-		e.window.E2EDecided++
-		if missed {
-			e.total.E2EMissed++
-			e.window.E2EMissed++
-		}
-	}
-	if e.onDecided != nil {
-		e.onDecided(now, j, missed)
-	}
-	if missed {
-		e.total.Missed++
-		e.window.Missed++
-		e.perTask[id].Missed++
-	} else {
-		e.total.Completed++
-		e.window.Completed++
-		e.perTask[id].Completed++
-		e.propagate(now, j)
-	}
-	e.queueChanged(now)
-	e.dispatch(now)
-}
-
-// propagate pushes the completed job's output onto its outgoing edges and
-// data-triggers successors whose primary edge refreshed. Control tasks emit
-// commands instead.
-func (e *Engine) propagate(now simtime.Time, j *sched.Job) {
-	if j.Task.IsControl {
-		e.emitControl(now, j)
-	}
-	for _, succ := range e.graph.Successors(j.Task.ID) {
-		ed := e.edges[edgeKey{from: j.Task.ID, to: succ}]
-		ed.fresh = true
-		ed.has = true
-		ed.sourceTime = j.SourceTime
-		ed.producedAt = now
-		if e.graph.PrimaryPred(succ) == j.Task.ID {
-			e.tryRelease(now, succ)
-		}
-	}
-}
-
-// tryRelease data-triggers task id: it releases when the primary edge is
-// fresh and every incoming edge has carried data at least once. The primary
-// data is consumed; auxiliary inputs are read at their latest values. The
-// job inherits the sensing instant of its primary chain — the capture time
-// of the source at the root of the chain of primary edges — which defines
-// the pipeline's end-to-end staleness.
-func (e *Engine) tryRelease(now simtime.Time, id dag.TaskID) {
-	preds := e.graph.Predecessors(id)
-	for _, p := range preds {
-		if !e.edges[edgeKey{from: p, to: id}].has {
-			return
-		}
-	}
-	primary := e.edges[edgeKey{from: preds[0], to: id}]
-	if !primary.fresh {
-		return
-	}
-	primary.fresh = false
-	if e.maxAge > 0 {
-		for _, p := range preds {
-			if now-e.edges[edgeKey{from: p, to: id}].producedAt > e.maxAge {
-				// An input is too stale for a valid cycle: the
-				// release is invalid and counts as a miss of
-				// the consuming task.
-				e.invalidCycle(now, id, primary.sourceTime)
-				return
-			}
-		}
-	}
-	e.release(now, id, primary.sourceTime)
-}
-
-// invalidCycle accounts a data-triggered release whose inputs were too
-// stale to produce valid output.
-func (e *Engine) invalidCycle(now simtime.Time, id dag.TaskID, sourceTime simtime.Time) {
-	t := e.graph.Task(id)
-	e.cycles[id]++
-	j := &sched.Job{
-		Task:        t,
-		Cycle:       e.cycles[id],
-		Release:     now,
-		AbsDeadline: now,
-		EstExec:     e.observed[id],
-		SourceTime:  sourceTime,
-	}
-	e.total.Released++
-	e.window.Released++
-	e.perTask[id].Released++
-	e.total.Missed++
-	e.window.Missed++
-	e.perTask[id].Missed++
-	if t.IsControl {
-		e.total.E2EDecided++
-		e.total.E2EMissed++
-		e.window.E2EDecided++
-		e.window.E2EMissed++
-	}
-	if e.onDecided != nil {
-		e.onDecided(now, j, true)
-	}
-}
-
-// emitControl publishes a control command.
-func (e *Engine) emitControl(now simtime.Time, j *sched.Job) {
-	cmd := ControlCommand{
-		Task:       j.Task,
-		Cycle:      j.Cycle,
-		Release:    j.Release,
-		Completed:  now,
-		SourceTime: j.SourceTime,
-	}
-	e.total.ControlCommands++
-	e.window.ControlCommands++
-	e.total.ControlResponse.Add(float64(cmd.ResponseTime()))
-	e.window.ControlResponse.Add(float64(cmd.ResponseTime()))
-	e.total.EndToEnd.Add(float64(cmd.EndToEndLatency()))
-	e.window.EndToEnd.Add(float64(cmd.EndToEndLatency()))
-	if e.onCmd != nil {
-		e.onCmd(cmd)
-	}
-	if e.b != nil {
-		// Publish errors are impossible for a non-empty constant topic.
-		if err := e.b.Publish(ControlTopic, cmd); err != nil {
-			panic(fmt.Sprintf("engine: publish control: %v", err))
-		}
 	}
 }

@@ -1,0 +1,551 @@
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/exectime"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+)
+
+// Backend abstracts an execution substrate under the kernel: how capture
+// latencies elapse, how idle processors learn about new work, and what the
+// processor pool looks like. internal/engine implements it on a
+// simtime.EventQueue; internal/rt implements it on goroutines and
+// wall-clock timers.
+//
+// The kernel calls every Backend method from inside the backend's own
+// execution context (the event loop, or with the executor lock held), so
+// implementations need no additional synchronization of kernel state.
+type Backend interface {
+	// DeliverAfter runs fn once, d after now on the backend's clock, in
+	// the backend's execution context. The kernel uses it for source
+	// capture latencies: sensor output materializes off-CPU.
+	DeliverAfter(now simtime.Time, d simtime.Duration, fn func(at simtime.Time))
+	// Wake tells the backend the ready queue may have gained runnable
+	// work, so idle processors should re-run dispatch.
+	Wake(now simtime.Time)
+	// ProcState snapshots the processor pool for a scheduling decision.
+	ProcState(now simtime.Time) *sched.ProcState
+}
+
+// Config configures a Kernel. Backend-specific knobs (processor counts,
+// event queues, coordination loops) live in the backends' own configs.
+type Config struct {
+	// Graph is the validated task graph to execute.
+	Graph *dag.Graph
+	// Scheduler is the dispatch policy.
+	Scheduler sched.Scheduler
+	// Seed seeds the kernel's private RNG (execution-time sampling).
+	Seed int64
+	// Scene supplies the runtime scene; nil means exectime.NominalScene.
+	Scene func(now simtime.Time) exectime.Scene
+	// MaxDataAge, when positive, bounds the age of every input a task
+	// may consume: a data-triggered release whose auxiliary inputs are
+	// older than this is invalid — the cycle is lost and counts as a
+	// deadline miss of the consuming task. Zero disables the bound.
+	MaxDataAge simtime.Duration
+	// OnControl is invoked for every emitted control command.
+	OnControl func(cmd ControlCommand)
+	// OnJobDecided is invoked whenever a job's outcome is decided:
+	// missed=false for an on-time completion, missed=true for a late
+	// completion, queue expiration or invalid cycle.
+	OnJobDecided func(now simtime.Time, j *sched.Job, missed bool)
+	// Tracer, when non-nil, receives the structured lifecycle event
+	// stream.
+	Tracer Tracer
+}
+
+// edgeKey identifies one precedence edge.
+type edgeKey struct {
+	from, to dag.TaskID
+}
+
+// edgeData is the latest-value channel state of one precedence edge.
+type edgeData struct {
+	// fresh marks unconsumed data (meaningful on primary edges).
+	fresh bool
+	// has marks that the edge has carried data at least once.
+	has bool
+	// sourceTime is the capture instant at the root of the producing
+	// job's primary chain.
+	sourceTime simtime.Time
+	// producedAt is when the value was written.
+	producedAt simtime.Time
+}
+
+// Kernel owns the job state machine shared by all execution backends:
+// releases, ready queue, dispatch selection, deadline and end-to-end
+// accounting, edge propagation and control emission. All methods must be
+// called from the backend's execution context; the kernel itself holds no
+// locks.
+type Kernel struct {
+	graph     *dag.Graph
+	sch       sched.Scheduler
+	b         Backend
+	rng       *rand.Rand
+	scene     func(now simtime.Time) exectime.Scene
+	onCmd     func(cmd ControlCommand)
+	onDecided func(now simtime.Time, j *sched.Job, missed bool)
+	tracer    Tracer
+
+	ready    []*sched.Job
+	edges    map[edgeKey]*edgeData
+	observed []simtime.Duration // c_i per task: last observed execution time
+	cycles   []uint64           // per-task release counter
+	rates    []float64          // current rate per task (sources only)
+	budgets  []simtime.Duration // end-to-end deadline budget per task
+	maxAge   simtime.Duration
+
+	total    Stats
+	window   Stats // reset by ResetWindow (Task Rate Adapter sampling)
+	perTask  []TaskStats
+	observer QueueObserver
+}
+
+// NewKernel validates the configuration and builds a kernel bound to the
+// given backend.
+func NewKernel(cfg Config, b Backend) (*Kernel, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("lifecycle: nil graph")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("lifecycle: %w", err)
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("lifecycle: nil scheduler")
+	}
+	if b == nil {
+		return nil, errors.New("lifecycle: nil backend")
+	}
+	scene := cfg.Scene
+	if scene == nil {
+		scene = func(simtime.Time) exectime.Scene { return exectime.NominalScene() }
+	}
+	n := cfg.Graph.Len()
+	k := &Kernel{
+		graph:     cfg.Graph,
+		sch:       cfg.Scheduler,
+		b:         b,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		scene:     scene,
+		onCmd:     cfg.OnControl,
+		onDecided: cfg.OnJobDecided,
+		tracer:    cfg.Tracer,
+		edges:     make(map[edgeKey]*edgeData),
+		observed:  make([]simtime.Duration, n),
+		cycles:    make([]uint64, n),
+		rates:     make([]float64, n),
+		perTask:   make([]TaskStats, n),
+		maxAge:    cfg.MaxDataAge,
+	}
+	for _, t := range cfg.Graph.Tasks() {
+		k.observed[t.ID] = t.Exec.Nominal()
+		k.rates[t.ID] = t.Rate
+		for _, s := range cfg.Graph.Successors(t.ID) {
+			k.edges[edgeKey{from: t.ID, to: s}] = &edgeData{}
+		}
+	}
+	if obs, ok := cfg.Scheduler.(QueueObserver); ok {
+		k.observer = obs
+	}
+	topo, err := cfg.Graph.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: %w", err)
+	}
+	k.budgets = make([]simtime.Duration, n)
+	for _, id := range topo {
+		var longest simtime.Duration
+		for _, p := range cfg.Graph.Predecessors(id) {
+			if k.budgets[p] > longest {
+				longest = k.budgets[p]
+			}
+		}
+		k.budgets[id] = longest + cfg.Graph.Task(id).RelDeadline
+	}
+	return k, nil
+}
+
+// Graph returns the executing graph.
+func (k *Kernel) Graph() *dag.Graph { return k.graph }
+
+// Scheduler returns the dispatch policy.
+func (k *Kernel) Scheduler() sched.Scheduler { return k.sch }
+
+// QueueLen returns the current ready-queue length.
+func (k *Kernel) QueueLen() int { return len(k.ready) }
+
+// Stats returns a copy of the kernel-wide counters.
+func (k *Kernel) Stats() Stats { return k.total }
+
+// WindowStats returns a copy of the counters since the last ResetWindow.
+func (k *Kernel) WindowStats() Stats { return k.window }
+
+// ResetWindow zeroes the windowed counters; the Task Rate Adapter calls
+// this once per adaptation period.
+func (k *Kernel) ResetWindow() { k.window = Stats{} }
+
+// TaskStats returns a copy of the per-task counters.
+func (k *Kernel) TaskStats(id dag.TaskID) TaskStats {
+	if id < 0 || int(id) >= len(k.perTask) {
+		return TaskStats{}
+	}
+	return k.perTask[id]
+}
+
+// ObservedExec returns the kernel's current estimate of c_i.
+func (k *Kernel) ObservedExec(id dag.TaskID) simtime.Duration { return k.observed[id] }
+
+// EndToEndBudget returns the task's end-to-end deadline budget: the
+// largest sum of relative deadlines along any source-to-task path.
+func (k *Kernel) EndToEndBudget(id dag.TaskID) simtime.Duration {
+	if id < 0 || int(id) >= len(k.budgets) {
+		return 0
+	}
+	return k.budgets[id]
+}
+
+// Rate returns the current rate of a task (meaningful for sources).
+func (k *Kernel) Rate(id dag.TaskID) float64 {
+	if id < 0 || int(id) >= len(k.rates) {
+		return 0
+	}
+	return k.rates[id]
+}
+
+// SetRate clamps hz to the task's allowable range, stores it as the task's
+// current rate and returns the rate actually applied. Fixed-rate tasks
+// (MaxRate == 0) keep their configured rate.
+func (k *Kernel) SetRate(id dag.TaskID, hz float64) (float64, error) {
+	t := k.graph.Task(id)
+	if t == nil {
+		return 0, fmt.Errorf("lifecycle: unknown task %d", id)
+	}
+	if t.MaxRate > 0 {
+		if hz < t.MinRate {
+			hz = t.MinRate
+		}
+		if hz > t.MaxRate {
+			hz = t.MaxRate
+		}
+	} else {
+		hz = t.Rate // fixed-rate source
+	}
+	if hz <= 0 {
+		return 0, fmt.Errorf("lifecycle: non-positive rate for %q", t.Name)
+	}
+	k.rates[id] = hz
+	return hz, nil
+}
+
+// SampleExec draws a job execution time for task t at the given instant,
+// clamped to be non-negative. Backends call it exactly once per dispatched
+// job so RNG consumption stays deterministic.
+func (k *Kernel) SampleExec(now simtime.Time, t *dag.Task) simtime.Duration {
+	actual := t.Exec.Sample(k.rng, now, k.scene(now))
+	if actual < 0 {
+		actual = 0
+	}
+	return actual
+}
+
+// RefreshObserver re-runs the queue observer (if any) against the live
+// ready queue and processor state. Coordinators call this after installing
+// a new nominal u so γ is re-derived immediately instead of at the next
+// queue change.
+func (k *Kernel) RefreshObserver(now simtime.Time) { k.queueChanged(now) }
+
+// queueChanged notifies a queue-observing scheduler (γmax re-derivation).
+func (k *Kernel) queueChanged(now simtime.Time) {
+	if k.observer != nil {
+		k.observer.Recompute(now, k.ready, k.b.ProcState(now))
+	}
+}
+
+// trace emits ev to the configured tracer, if any.
+func (k *Kernel) trace(ev Event) {
+	if k.tracer != nil {
+		k.tracer.Trace(ev)
+	}
+}
+
+// jobEvent builds the common fields of a lifecycle event for job j.
+func jobEvent(kind EventKind, now simtime.Time, j *sched.Job, proc int) Event {
+	return Event{
+		Kind:       kind,
+		Task:       j.Task.ID,
+		TaskName:   j.Task.Name,
+		Cycle:      j.Cycle,
+		T:          now,
+		Proc:       proc,
+		SourceTime: j.SourceTime,
+		Deadline:   j.AbsDeadline,
+	}
+}
+
+// SourceFired models one sensor capture of source task id: the job runs
+// off-CPU (sensor hardware/DMA produces the data) and delivers its output
+// after the sampled capture latency, via the backend clock. Captures never
+// miss deadlines.
+func (k *Kernel) SourceFired(now simtime.Time, id dag.TaskID) {
+	t := k.graph.Task(id)
+	k.cycles[id]++
+	j := &sched.Job{
+		Task:        t,
+		Cycle:       k.cycles[id],
+		Release:     now,
+		AbsDeadline: now + t.RelDeadline,
+		EstExec:     k.observed[id],
+		SourceTime:  now,
+	}
+	k.total.Released++
+	k.window.Released++
+	k.perTask[id].Released++
+	k.trace(jobEvent(EventRelease, now, j, -1))
+	actual := k.SampleExec(now, t)
+	k.b.DeliverAfter(now, actual, func(at simtime.Time) {
+		k.deliverSource(at, j, actual)
+	})
+}
+
+// deliverSource finalises a capture: the source job completes on time and
+// propagates downstream.
+func (k *Kernel) deliverSource(now simtime.Time, j *sched.Job, actual simtime.Duration) {
+	id := j.Task.ID
+	k.observed[id] = actual
+	k.perTask[id].ExecTime.Add(float64(actual))
+	k.total.Completed++
+	k.window.Completed++
+	k.perTask[id].Completed++
+	k.trace(jobEvent(EventDeliver, now, j, -1))
+	if k.onDecided != nil {
+		k.onDecided(now, j, false)
+	}
+	k.Propagate(now, j)
+	k.b.Wake(now)
+}
+
+// release creates a job for data-triggered task id, appends it to the
+// ready queue and wakes the backend.
+func (k *Kernel) release(now simtime.Time, id dag.TaskID, sourceTime simtime.Time) {
+	t := k.graph.Task(id)
+	k.cycles[id]++
+	deadline := now + t.RelDeadline
+	if e2e := sourceTime + k.budgets[id]; e2e < deadline {
+		deadline = e2e
+	}
+	if t.E2E > 0 {
+		if e2e := sourceTime + t.E2E; e2e < deadline {
+			deadline = e2e
+		}
+	}
+	j := &sched.Job{
+		Task:        t,
+		Cycle:       k.cycles[id],
+		Release:     now,
+		AbsDeadline: deadline,
+		EstExec:     k.observed[id],
+		SourceTime:  sourceTime,
+	}
+	k.ready = append(k.ready, j)
+	k.total.Released++
+	k.window.Released++
+	k.perTask[id].Released++
+	k.trace(jobEvent(EventRelease, now, j, -1))
+	k.queueChanged(now)
+	k.b.Wake(now)
+}
+
+// PurgeExpired drops queued jobs whose deadline has already passed; they
+// can no longer produce valid output.
+func (k *Kernel) PurgeExpired(now simtime.Time) {
+	kept := k.ready[:0]
+	changed := false
+	for _, j := range k.ready {
+		if j.AbsDeadline <= now {
+			id := j.Task.ID
+			k.total.Missed++
+			k.total.Expired++
+			k.window.Missed++
+			k.window.Expired++
+			k.perTask[id].Missed++
+			k.perTask[id].Expired++
+			if j.Task.IsControl {
+				k.total.E2EDecided++
+				k.total.E2EMissed++
+				k.window.E2EDecided++
+				k.window.E2EMissed++
+			}
+			k.trace(jobEvent(EventExpire, now, j, -1))
+			if k.onDecided != nil {
+				k.onDecided(now, j, true)
+			}
+			changed = true
+			continue
+		}
+		kept = append(kept, j)
+	}
+	k.ready = kept
+	if changed {
+		k.queueChanged(now)
+	}
+}
+
+// Next asks the policy for the job to run on processor proc and removes it
+// from the ready queue, or returns nil when the queue is empty or no job is
+// eligible. Callers should PurgeExpired first.
+func (k *Kernel) Next(now simtime.Time, proc int) *sched.Job {
+	if len(k.ready) == 0 {
+		return nil
+	}
+	idx := k.sch.Select(now, k.ready, proc, k.b.ProcState(now))
+	if idx < 0 {
+		return nil
+	}
+	j := k.ready[idx]
+	k.ready = append(k.ready[:idx], k.ready[idx+1:]...)
+	k.trace(jobEvent(EventDispatch, now, j, proc))
+	return j
+}
+
+// Complete finalises a job dispatched on processor proc that ran for
+// actual: deadline accounting, data propagation and control emission. The
+// backend must clear its own processor bookkeeping before calling it.
+func (k *Kernel) Complete(now simtime.Time, proc int, j *sched.Job, actual simtime.Duration) {
+	id := j.Task.ID
+	k.observed[id] = actual
+	k.perTask[id].ExecTime.Add(float64(actual))
+
+	missed := now > j.AbsDeadline
+	if j.Task.IsControl {
+		k.total.E2EDecided++
+		k.window.E2EDecided++
+		if missed {
+			k.total.E2EMissed++
+			k.window.E2EMissed++
+		}
+	}
+	if k.onDecided != nil {
+		k.onDecided(now, j, missed)
+	}
+	if missed {
+		k.total.Missed++
+		k.window.Missed++
+		k.perTask[id].Missed++
+		k.trace(jobEvent(EventMiss, now, j, proc))
+	} else {
+		k.total.Completed++
+		k.window.Completed++
+		k.perTask[id].Completed++
+		k.trace(jobEvent(EventComplete, now, j, proc))
+		k.Propagate(now, j)
+	}
+	k.queueChanged(now)
+	k.b.Wake(now)
+}
+
+// Propagate pushes the completed job's output onto its outgoing edges and
+// data-triggers successors whose primary edge refreshed. Control tasks emit
+// commands first.
+func (k *Kernel) Propagate(now simtime.Time, j *sched.Job) {
+	if j.Task.IsControl {
+		k.emitControl(now, j)
+	}
+	for _, succ := range k.graph.Successors(j.Task.ID) {
+		ed := k.edges[edgeKey{from: j.Task.ID, to: succ}]
+		ed.fresh = true
+		ed.has = true
+		ed.sourceTime = j.SourceTime
+		ed.producedAt = now
+		if k.graph.PrimaryPred(succ) == j.Task.ID {
+			k.tryRelease(now, succ)
+		}
+	}
+}
+
+// tryRelease data-triggers task id: it releases when the primary edge is
+// fresh and every incoming edge has carried data at least once. The primary
+// data is consumed; auxiliary inputs are read at their latest values. The
+// job inherits the sensing instant of its primary chain — the capture time
+// of the source at the root of the chain of primary edges — which defines
+// the pipeline's end-to-end staleness.
+func (k *Kernel) tryRelease(now simtime.Time, id dag.TaskID) {
+	preds := k.graph.Predecessors(id)
+	for _, p := range preds {
+		if !k.edges[edgeKey{from: p, to: id}].has {
+			return
+		}
+	}
+	primary := k.edges[edgeKey{from: preds[0], to: id}]
+	if !primary.fresh {
+		return
+	}
+	primary.fresh = false
+	if k.maxAge > 0 {
+		for _, p := range preds {
+			if now-k.edges[edgeKey{from: p, to: id}].producedAt > k.maxAge {
+				// An input is too stale for a valid cycle: the
+				// release is invalid and counts as a miss of
+				// the consuming task.
+				k.invalidCycle(now, id, primary.sourceTime)
+				return
+			}
+		}
+	}
+	k.release(now, id, primary.sourceTime)
+}
+
+// invalidCycle accounts a data-triggered release whose inputs were too
+// stale to produce valid output.
+func (k *Kernel) invalidCycle(now simtime.Time, id dag.TaskID, sourceTime simtime.Time) {
+	t := k.graph.Task(id)
+	k.cycles[id]++
+	j := &sched.Job{
+		Task:        t,
+		Cycle:       k.cycles[id],
+		Release:     now,
+		AbsDeadline: now,
+		EstExec:     k.observed[id],
+		SourceTime:  sourceTime,
+	}
+	k.total.Released++
+	k.window.Released++
+	k.perTask[id].Released++
+	k.total.Missed++
+	k.window.Missed++
+	k.perTask[id].Missed++
+	if t.IsControl {
+		k.total.E2EDecided++
+		k.total.E2EMissed++
+		k.window.E2EDecided++
+		k.window.E2EMissed++
+	}
+	k.trace(jobEvent(EventInvalid, now, j, -1))
+	if k.onDecided != nil {
+		k.onDecided(now, j, true)
+	}
+}
+
+// emitControl accounts and publishes a control command.
+func (k *Kernel) emitControl(now simtime.Time, j *sched.Job) {
+	cmd := ControlCommand{
+		Task:       j.Task,
+		Cycle:      j.Cycle,
+		Release:    j.Release,
+		Completed:  now,
+		SourceTime: j.SourceTime,
+	}
+	k.total.ControlCommands++
+	k.window.ControlCommands++
+	k.total.ControlResponse.Add(float64(cmd.ResponseTime()))
+	k.window.ControlResponse.Add(float64(cmd.ResponseTime()))
+	k.total.EndToEnd.Add(float64(cmd.EndToEndLatency()))
+	k.window.EndToEnd.Add(float64(cmd.EndToEndLatency()))
+	k.trace(jobEvent(EventControl, now, j, -1))
+	if k.onCmd != nil {
+		k.onCmd(cmd)
+	}
+}

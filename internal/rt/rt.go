@@ -3,14 +3,17 @@
 // the same scheduling policies on actual time, standing in for the paper's
 // 1:10-scale hardware testbed (DESIGN.md §5 substitution).
 //
-// Semantics mirror package engine: source tasks fire on wall-clock tickers
-// and deliver off-CPU after their capture latency; derived tasks are
-// data-triggered by their primary predecessor; jobs respect per-task
-// relative deadlines, end-to-end budgets and the input-age validity bound.
-// Execution is emulated either by sleeping for the sampled duration
-// (default; timing-accurate and cheap) or by busy work running real
-// Hungarian matching over the scene's obstacles (Busy mode; generates
-// genuinely scene-dependent CPU load).
+// The job-lifecycle semantics — periodic source release with off-CPU capture
+// latency, data-triggered release on the primary predecessor, deadline and
+// end-to-end-budget expiry, discard of late output, control-command emission
+// — live in the shared internal/lifecycle kernel; this package is the
+// kernel's wall-clock Backend. It contributes exactly the execution
+// substrate: worker goroutines as processors, time.After for capture
+// latencies, and a mutex/cond pair serializing kernel access. Execution is
+// emulated either by sleeping for the sampled duration (default;
+// timing-accurate and cheap) or by busy work running real Hungarian matching
+// over the scene's obstacles (Busy mode; generates genuinely scene-dependent
+// CPU load).
 //
 // The executor coordinates with the same mfc and rate controllers as the
 // simulation when a tracking-error source is configured, so HCPerf's full
@@ -18,64 +21,34 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 	"time"
 
 	"hcperf/internal/dag"
 	"hcperf/internal/exectime"
 	"hcperf/internal/hungarian"
+	"hcperf/internal/lifecycle"
 	"hcperf/internal/mfc"
 	"hcperf/internal/rate"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
 )
 
-// ControlCommand mirrors engine.ControlCommand for wall-clock runs.
-type ControlCommand struct {
-	Task       *dag.Task
-	Cycle      uint64
-	Release    simtime.Time
-	Completed  simtime.Time
-	SourceTime simtime.Time
-}
+// Canonical lifecycle types, re-exported so existing callers keep compiling
+// unchanged.
+type (
+	// ControlCommand describes one completed control-task job.
+	ControlCommand = lifecycle.ControlCommand
+	// Stats aggregates executor-wide outcomes.
+	Stats = lifecycle.Stats
+)
 
-// ResponseTime returns release-to-completion latency.
-func (c ControlCommand) ResponseTime() simtime.Duration { return c.Completed - c.Release }
-
-// EndToEndLatency returns sensing-to-actuation latency.
-func (c ControlCommand) EndToEndLatency() simtime.Duration { return c.Completed - c.SourceTime }
-
-// Stats aggregates executor-wide outcomes.
-type Stats struct {
-	Released        uint64
-	Completed       uint64
-	Missed          uint64
-	Expired         uint64
-	ControlCommands uint64
-	E2EDecided      uint64
-	E2EMissed       uint64
-}
-
-// MissRatio returns misses over decided jobs.
-func (s Stats) MissRatio() float64 {
-	decided := s.Completed + s.Missed
-	if decided == 0 {
-		return 0
-	}
-	return float64(s.Missed) / float64(decided)
-}
-
-// E2EMissRatio returns the control-job miss ratio.
-func (s Stats) E2EMissRatio() float64 {
-	if s.E2EDecided == 0 {
-		return 0
-	}
-	return float64(s.E2EMissed) / float64(s.E2EDecided)
-}
+// DefaultStopTimeout bounds how long Stop waits for goroutines to exit.
+const DefaultStopTimeout = 10 * time.Second
 
 // Config configures an Executor.
 type Config struct {
@@ -99,6 +72,9 @@ type Config struct {
 	// OnControl observes emitted control commands (called off the worker
 	// goroutines' critical section but potentially concurrently).
 	OnControl func(cmd ControlCommand)
+	// Tracer optionally receives the structured lifecycle event stream.
+	// It is invoked with the executor lock held and must not block.
+	Tracer lifecycle.Tracer
 	// TrackingError, when set together with a *sched.Dynamic scheduler,
 	// enables the HCPerf coordinators on wall clock.
 	TrackingError func(elapsed simtime.Time) float64
@@ -110,32 +86,15 @@ type Config struct {
 	AdaptPeriod time.Duration
 }
 
-type edgeKey struct{ from, to dag.TaskID }
-
-type edgeState struct {
-	fresh      bool
-	has        bool
-	sourceTime simtime.Time
-	producedAt simtime.Time
-}
-
 // Executor runs a task graph on wall-clock time.
 type Executor struct {
-	cfg   Config
-	graph *dag.Graph
+	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	ready    []*sched.Job
-	edges    map[edgeKey]*edgeState
-	observed []simtime.Duration
-	cycles   []uint64
-	rates    []float64
-	running  []simtime.Time // per-worker expected finish (elapsed time)
-	budgets  []simtime.Duration
-	stats    Stats
-	rng      *rand.Rand
-	stopped  bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	k       *lifecycle.Kernel
+	running []simtime.Time // per-worker expected finish (elapsed time)
+	stopped bool
 
 	start   time.Time
 	started bool
@@ -147,17 +106,57 @@ type Executor struct {
 	dyn     *sched.Dynamic
 }
 
+// rtBackend adapts the Executor onto lifecycle.Backend: capture latencies
+// are timer goroutines, waking idle processors is a cond broadcast. Every
+// method is invoked by the kernel with e.mu held.
+type rtBackend struct {
+	e *Executor
+}
+
+// DeliverAfter implements lifecycle.Backend. The delivery goroutine joins
+// the executor's WaitGroup; Add is safe because the calling source loop is
+// itself still registered, so the counter cannot be zero here.
+func (b rtBackend) DeliverAfter(now simtime.Time, d simtime.Duration, fn func(at simtime.Time)) {
+	e := b.e
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		if d > 0 {
+			select {
+			case <-e.stopCh:
+				return
+			case <-time.After(d.ToDuration()):
+			}
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.stopped {
+			return
+		}
+		fn(e.Elapsed())
+	}()
+}
+
+// Wake implements lifecycle.Backend.
+func (b rtBackend) Wake(now simtime.Time) { b.e.cond.Broadcast() }
+
+// ProcState implements lifecycle.Backend.
+func (b rtBackend) ProcState(now simtime.Time) *sched.ProcState {
+	e := b.e
+	st := &sched.ProcState{
+		NumProcs:  e.cfg.NumProcs,
+		Remaining: make([]simtime.Duration, e.cfg.NumProcs),
+	}
+	for i, until := range e.running {
+		if until > now {
+			st.Remaining[i] = until - now
+		}
+	}
+	return st
+}
+
 // New validates cfg and builds an executor.
 func New(cfg Config) (*Executor, error) {
-	if cfg.Graph == nil {
-		return nil, errors.New("rt: nil graph")
-	}
-	if err := cfg.Graph.Validate(); err != nil {
-		return nil, fmt.Errorf("rt: %w", err)
-	}
-	if cfg.Scheduler == nil {
-		return nil, errors.New("rt: nil scheduler")
-	}
 	if cfg.NumProcs < 1 {
 		return nil, fmt.Errorf("rt: NumProcs %d < 1", cfg.NumProcs)
 	}
@@ -170,40 +169,35 @@ func New(cfg Config) (*Executor, error) {
 	if cfg.AdaptPeriod <= 0 {
 		cfg.AdaptPeriod = time.Second
 	}
-	n := cfg.Graph.Len()
 	e := &Executor{
-		cfg:      cfg,
-		graph:    cfg.Graph,
-		edges:    make(map[edgeKey]*edgeState),
-		observed: make([]simtime.Duration, n),
-		cycles:   make([]uint64, n),
-		rates:    make([]float64, n),
-		running:  make([]simtime.Time, cfg.NumProcs),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		stopCh:   make(chan struct{}),
+		cfg:     cfg,
+		running: make([]simtime.Time, cfg.NumProcs),
+		stopCh:  make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
-	for _, t := range cfg.Graph.Tasks() {
-		e.observed[t.ID] = t.Exec.Nominal()
-		e.rates[t.ID] = t.Rate
-		for _, s := range cfg.Graph.Successors(t.ID) {
-			e.edges[edgeKey{from: t.ID, to: s}] = &edgeState{}
-		}
-	}
-	topo, err := cfg.Graph.TopoOrder()
+	onControl := cfg.OnControl
+	k, err := lifecycle.NewKernel(lifecycle.Config{
+		Graph:      cfg.Graph,
+		Scheduler:  cfg.Scheduler,
+		Seed:       cfg.Seed,
+		Scene:      cfg.Scene,
+		MaxDataAge: cfg.MaxDataAge,
+		OnControl: func(cmd ControlCommand) {
+			if onControl == nil {
+				return
+			}
+			// The kernel runs under e.mu; release it around the user
+			// callback so observers may call back into the executor.
+			e.mu.Unlock()
+			onControl(cmd)
+			e.mu.Lock()
+		},
+		Tracer: cfg.Tracer,
+	}, rtBackend{e})
 	if err != nil {
 		return nil, fmt.Errorf("rt: %w", err)
 	}
-	e.budgets = make([]simtime.Duration, n)
-	for _, id := range topo {
-		var longest simtime.Duration
-		for _, p := range cfg.Graph.Predecessors(id) {
-			if e.budgets[p] > longest {
-				longest = e.budgets[p]
-			}
-		}
-		e.budgets[id] = longest + cfg.Graph.Task(id).RelDeadline
-	}
+	e.k = k
 	if cfg.TrackingError != nil {
 		dyn, ok := cfg.Scheduler.(*sched.Dynamic)
 		if !ok {
@@ -248,7 +242,7 @@ func (e *Executor) Start() error {
 		e.wg.Add(1)
 		go e.worker(w)
 	}
-	for _, src := range e.graph.Sources() {
+	for _, src := range e.k.Graph().Sources() {
 		e.wg.Add(1)
 		go e.sourceLoop(src.ID)
 	}
@@ -263,25 +257,48 @@ func (e *Executor) Start() error {
 	return nil
 }
 
-// Stop halts all goroutines and waits for them to exit.
-func (e *Executor) Stop() {
+// Shutdown signals every goroutine to stop and waits until they exit or ctx
+// is done, whichever comes first. A wedged worker (e.g. mid busy-burn) makes
+// Shutdown return ctx.Err() instead of hanging; the straggler still exits
+// once its current job finishes. Shutdown is idempotent.
+func (e *Executor) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
-	if !e.started || e.stopped {
+	if !e.started {
 		e.mu.Unlock()
-		return
+		return nil
 	}
-	e.stopped = true
-	close(e.stopCh)
-	e.cond.Broadcast()
+	if !e.stopped {
+		e.stopped = true
+		close(e.stopCh)
+		e.cond.Broadcast()
+	}
 	e.mu.Unlock()
-	e.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("rt: shutdown: %w", ctx.Err())
+	}
+}
+
+// Stop halts all goroutines, waiting up to DefaultStopTimeout for them to
+// exit.
+func (e *Executor) Stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultStopTimeout)
+	defer cancel()
+	return e.Shutdown(ctx)
 }
 
 // Stats returns a snapshot of the counters.
 func (e *Executor) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	return e.k.Stats()
 }
 
 // Elapsed returns the wall-clock time since Start.
@@ -291,73 +308,41 @@ func (e *Executor) Elapsed() simtime.Time {
 
 // SetSourceRate retunes a source rate (clamped to the task's range).
 func (e *Executor) SetSourceRate(id dag.TaskID, hz float64) (float64, error) {
-	t := e.graph.Task(id)
-	if t == nil {
-		return 0, fmt.Errorf("rt: unknown task %d", id)
-	}
-	if t.MaxRate > 0 {
-		if hz < t.MinRate {
-			hz = t.MinRate
-		}
-		if hz > t.MaxRate {
-			hz = t.MaxRate
-		}
-	} else {
-		hz = t.Rate
-	}
-	if hz <= 0 {
-		return 0, fmt.Errorf("rt: non-positive rate for %q", t.Name)
-	}
 	e.mu.Lock()
-	e.rates[id] = hz
-	e.mu.Unlock()
-	return hz, nil
+	defer e.mu.Unlock()
+	applied, err := e.k.SetRate(id, hz)
+	if err != nil {
+		return 0, fmt.Errorf("rt: %w", err)
+	}
+	return applied, nil
 }
 
 // sourceLoop emulates one sensor: periodic captures at the (adjustable)
-// source rate, delivering after the sampled capture latency.
+// source rate; the kernel delivers each capture downstream after its sampled
+// latency via DeliverAfter.
 func (e *Executor) sourceLoop(id dag.TaskID) {
 	defer e.wg.Done()
 	for {
 		e.mu.Lock()
-		period := time.Duration(float64(time.Second) / e.rates[id])
+		period := time.Duration(float64(time.Second) / e.k.Rate(id))
 		e.mu.Unlock()
 		select {
 		case <-e.stopCh:
 			return
 		case <-time.After(period):
 		}
-		now := e.Elapsed()
 		e.mu.Lock()
-		t := e.graph.Task(id)
-		e.cycles[id]++
-		j := &sched.Job{
-			Task:        t,
-			Cycle:       e.cycles[id],
-			Release:     now,
-			AbsDeadline: now + t.RelDeadline,
-			EstExec:     e.observed[id],
-			SourceTime:  now,
+		if e.stopped {
+			e.mu.Unlock()
+			return
 		}
-		e.stats.Released++
-		e.stats.Completed++ // captures never miss
-		latency := t.Exec.Sample(e.rng, now, e.cfg.Scene(now))
-		e.mu.Unlock()
-		if latency > 0 {
-			select {
-			case <-e.stopCh:
-				return
-			case <-time.After(latency.ToDuration()):
-			}
-		}
-		e.mu.Lock()
-		e.propagateLocked(e.Elapsed(), j)
+		e.k.SourceFired(e.Elapsed(), id)
 		e.mu.Unlock()
 	}
 }
 
 // worker is one processor: it waits for an eligible job, runs it to
-// completion and finalises it.
+// completion and finalises it through the kernel.
 func (e *Executor) worker(w int) {
 	defer e.wg.Done()
 	for {
@@ -369,23 +354,15 @@ func (e *Executor) worker(w int) {
 				return
 			}
 			now := e.Elapsed()
-			e.purgeExpiredLocked(now)
-			idx := -1
-			if len(e.ready) > 0 {
-				idx = e.cfg.Scheduler.Select(now, e.ready, w, e.procStateLocked(now))
-			}
-			if idx >= 0 {
-				j = e.ready[idx]
-				e.ready = append(e.ready[:idx], e.ready[idx+1:]...)
+			e.k.PurgeExpired(now)
+			j = e.k.Next(now, w)
+			if j != nil {
 				break
 			}
 			e.cond.Wait()
 		}
 		now := e.Elapsed()
-		actual := j.Task.Exec.Sample(e.rng, now, e.cfg.Scene(now))
-		if actual < 0 {
-			actual = 0
-		}
+		actual := e.k.SampleExec(now, j.Task)
 		e.running[w] = now + actual
 		e.mu.Unlock()
 
@@ -394,24 +371,18 @@ func (e *Executor) worker(w int) {
 		done := e.Elapsed()
 		e.mu.Lock()
 		e.running[w] = 0
-		e.observed[j.Task.ID] = done - now
-		if done <= j.AbsDeadline {
-			e.stats.Completed++
-			e.propagateLocked(done, j)
-		} else {
-			e.stats.Missed++
-			if j.Task.IsControl {
-				e.stats.E2EDecided++
-				e.stats.E2EMissed++
-			}
-		}
-		e.notifyObserverLocked(done)
+		// The observed execution time is the wall clock actually spent,
+		// not the sampled target: sleep overshoot and busy-burn jitter
+		// feed back into c_i like on real hardware.
+		e.k.Complete(done, w, j, done-now)
 		e.mu.Unlock()
 	}
 }
 
 // execute burns the sampled duration: by sleeping, or by real Hungarian
-// matching sized to the scene in Busy mode.
+// matching sized to the scene in Busy mode. The busy burn deliberately
+// ignores stopCh — it models non-preemptable CPU-bound work — which is why
+// Shutdown is deadline-bounded.
 func (e *Executor) execute(d simtime.Duration, now simtime.Time) {
 	if d <= 0 {
 		return
@@ -442,125 +413,6 @@ func (e *Executor) execute(d simtime.Duration, now simtime.Time) {
 	}
 }
 
-func (e *Executor) procStateLocked(now simtime.Time) *sched.ProcState {
-	st := &sched.ProcState{
-		NumProcs:  e.cfg.NumProcs,
-		Remaining: make([]simtime.Duration, e.cfg.NumProcs),
-	}
-	for i, until := range e.running {
-		if until > now {
-			st.Remaining[i] = until - now
-		}
-	}
-	return st
-}
-
-func (e *Executor) purgeExpiredLocked(now simtime.Time) {
-	kept := e.ready[:0]
-	for _, j := range e.ready {
-		if j.AbsDeadline <= now {
-			e.stats.Missed++
-			e.stats.Expired++
-			if j.Task.IsControl {
-				e.stats.E2EDecided++
-				e.stats.E2EMissed++
-			}
-			continue
-		}
-		kept = append(kept, j)
-	}
-	e.ready = kept
-}
-
-func (e *Executor) notifyObserverLocked(now simtime.Time) {
-	if obs, ok := e.cfg.Scheduler.(interface {
-		Recompute(simtime.Time, []*sched.Job, *sched.ProcState)
-	}); ok {
-		obs.Recompute(now, e.ready, e.procStateLocked(now))
-	}
-}
-
-// propagateLocked mirrors engine.propagate under the executor lock.
-func (e *Executor) propagateLocked(now simtime.Time, j *sched.Job) {
-	if j.Task.IsControl {
-		e.stats.ControlCommands++
-		e.stats.E2EDecided++
-		if e.cfg.OnControl != nil {
-			cmd := ControlCommand{
-				Task:       j.Task,
-				Cycle:      j.Cycle,
-				Release:    j.Release,
-				Completed:  now,
-				SourceTime: j.SourceTime,
-			}
-			e.mu.Unlock()
-			e.cfg.OnControl(cmd)
-			e.mu.Lock()
-		}
-	}
-	for _, succ := range e.graph.Successors(j.Task.ID) {
-		ed := e.edges[edgeKey{from: j.Task.ID, to: succ}]
-		ed.fresh = true
-		ed.has = true
-		ed.sourceTime = j.SourceTime
-		ed.producedAt = now
-		if e.graph.PrimaryPred(succ) == j.Task.ID {
-			e.tryReleaseLocked(now, succ)
-		}
-	}
-	e.notifyObserverLocked(now)
-	e.cond.Broadcast()
-}
-
-func (e *Executor) tryReleaseLocked(now simtime.Time, id dag.TaskID) {
-	preds := e.graph.Predecessors(id)
-	for _, p := range preds {
-		if !e.edges[edgeKey{from: p, to: id}].has {
-			return
-		}
-	}
-	primary := e.edges[edgeKey{from: preds[0], to: id}]
-	if !primary.fresh {
-		return
-	}
-	primary.fresh = false
-	if e.cfg.MaxDataAge > 0 {
-		for _, p := range preds {
-			if now-e.edges[edgeKey{from: p, to: id}].producedAt > e.cfg.MaxDataAge {
-				e.cycles[id]++
-				e.stats.Released++
-				e.stats.Missed++
-				if e.graph.Task(id).IsControl {
-					e.stats.E2EDecided++
-					e.stats.E2EMissed++
-				}
-				return
-			}
-		}
-	}
-	t := e.graph.Task(id)
-	e.cycles[id]++
-	deadline := now + t.RelDeadline
-	if e2e := primary.sourceTime + e.budgets[id]; e2e < deadline {
-		deadline = e2e
-	}
-	if t.E2E > 0 {
-		if e2e := primary.sourceTime + t.E2E; e2e < deadline {
-			deadline = e2e
-		}
-	}
-	j := &sched.Job{
-		Task:        t,
-		Cycle:       e.cycles[id],
-		Release:     now,
-		AbsDeadline: deadline,
-		EstExec:     e.observed[id],
-		SourceTime:  primary.sourceTime,
-	}
-	e.ready = append(e.ready, j)
-	e.stats.Released++
-}
-
 // controlLoop is the wall-clock internal coordinator.
 func (e *Executor) controlLoop() {
 	defer e.wg.Done()
@@ -579,7 +431,7 @@ func (e *Executor) controlLoop() {
 		}
 		e.mu.Lock()
 		e.dyn.SetNominalU(u)
-		e.notifyObserverLocked(now)
+		e.k.RefreshObserver(now)
 		e.mu.Unlock()
 	}
 }
@@ -597,7 +449,7 @@ func (e *Executor) adaptLoop() {
 		case <-ticker.C:
 		}
 		e.mu.Lock()
-		cur := e.stats
+		cur := e.k.Stats()
 		window := Stats{
 			Completed:  cur.Completed - last.Completed,
 			Missed:     cur.Missed - last.Missed,
@@ -606,18 +458,18 @@ func (e *Executor) adaptLoop() {
 		}
 		last = cur
 		regime := 1.0
-		for _, t := range e.graph.Tasks() {
+		for _, t := range e.k.Graph().Tasks() {
 			nom := float64(t.Exec.Nominal())
 			if nom <= 0 {
 				continue
 			}
-			if r := float64(e.observed[t.ID]) / nom; r > regime {
+			if r := float64(e.k.ObservedExec(t.ID)) / nom; r > regime {
 				regime = r
 			}
 		}
 		sources := make(map[*dag.Task]float64)
-		for _, s := range e.graph.Sources() {
-			sources[s] = e.rates[s.ID]
+		for _, s := range e.k.Graph().Sources() {
+			sources[s] = e.k.Rate(s.ID)
 		}
 		e.mu.Unlock()
 

@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -225,6 +227,66 @@ func TestBusyModeBurnsSceneDependentTime(t *testing.T) {
 	ex.Stop()
 	if st := ex.Stats(); st.ControlCommands == 0 {
 		t.Errorf("busy mode produced no commands: %+v", st)
+	}
+}
+
+// TestShutdownBoundedWithWedgedWorker pins the bounded-shutdown contract: a
+// worker stuck in a non-preemptable busy burn must not block Shutdown past
+// its context deadline, and the straggler must still drain once the burn
+// ends.
+func TestShutdownBoundedWithWedgedWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("busy-wait test")
+	}
+	g := dag.New()
+	if _, err := g.AddTask(dag.Task{
+		Name: "sensor", Priority: 2, RelDeadline: 5 * simtime.Second,
+		Rate: 100, MinRate: 100, MaxRate: 100,
+		Exec: exectime.Constant(0.1 * ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddTask(dag.Task{
+		Name: "heavy", Priority: 1, RelDeadline: 5 * simtime.Second, IsControl: true,
+		Exec: exectime.Constant(800 * ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeByName("sensor", "heavy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := New(Config{Graph: g, Scheduler: sched.EDF{}, NumProcs: 1, Seed: 1, Busy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the worker wedge in its 800ms burn
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	err = ex.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown returned nil while a worker was wedged")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Shutdown error = %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(begin); waited > time.Second {
+		t.Errorf("Shutdown blocked %v despite a 150ms deadline", waited)
+	}
+
+	// Once the burn finishes, the straggler exits and a second Shutdown
+	// drains cleanly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := ex.Shutdown(ctx2); err != nil {
+		t.Errorf("drain after burn: %v", err)
 	}
 }
 

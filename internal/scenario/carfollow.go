@@ -10,6 +10,7 @@ import (
 	"hcperf/internal/dag"
 	"hcperf/internal/engine"
 	"hcperf/internal/exectime"
+	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
@@ -60,6 +61,9 @@ type CarFollowingConfig struct {
 	RateOverrides map[string]float64
 	// VehicleStep is the dynamics integration step (default 10 ms).
 	VehicleStep float64
+	// Tracer optionally receives the engine's structured lifecycle
+	// event stream (per-job timelines).
+	Tracer lifecycle.Tracer
 	// TrackGapError makes the coordinator track the gap error instead
 	// of the speed error (the Fig. 16/17 responsiveness study).
 	TrackGapError bool
@@ -289,6 +293,7 @@ func RunCarFollowing(cfg CarFollowingConfig) (*CarFollowingResult, error) {
 		Queue:      q,
 		Seed:       cfg.Seed,
 		MaxDataAge: maxAge,
+		Tracer:     cfg.Tracer,
 		Scene: func(now simtime.Time) exectime.Scene {
 			return exectime.Scene{Obstacles: cfg.Obstacles(float64(now)), LoadFactor: 1}
 		},

@@ -10,6 +10,7 @@ import (
 	"hcperf/internal/dag"
 	"hcperf/internal/engine"
 	"hcperf/internal/exectime"
+	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
@@ -42,6 +43,9 @@ type CombinedConfig struct {
 	Obstacles func(t float64) int
 	// VehicleStep is the dynamics integration step (default 10 ms).
 	VehicleStep float64
+	// Tracer optionally receives the engine's structured lifecycle
+	// event stream (per-job timelines).
+	Tracer lifecycle.Tracer
 }
 
 func (c *CombinedConfig) applyDefaults() error {
@@ -219,6 +223,7 @@ func RunCombined(cfg CombinedConfig) (*CombinedResult, error) {
 		Queue:      q,
 		Seed:       cfg.Seed,
 		MaxDataAge: 220 * simtime.Millisecond,
+		Tracer:     cfg.Tracer,
 		Scene: func(now simtime.Time) exectime.Scene {
 			return exectime.Scene{Obstacles: cfg.Obstacles(float64(now)), LoadFactor: 1}
 		},

@@ -10,6 +10,7 @@ import (
 	"hcperf/internal/dag"
 	"hcperf/internal/engine"
 	"hcperf/internal/exectime"
+	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
 	"hcperf/internal/rate"
 	"hcperf/internal/sched"
@@ -51,6 +52,9 @@ type LaneKeepingConfig struct {
 	// OffsetNoiseSD adds Gaussian noise to the perceived lateral offset
 	// (m).
 	OffsetNoiseSD float64
+	// Tracer optionally receives the engine's structured lifecycle
+	// event stream (per-job timelines).
+	Tracer lifecycle.Tracer
 }
 
 func (c *LaneKeepingConfig) applyDefaults() error {
@@ -210,6 +214,7 @@ func RunLaneKeeping(cfg LaneKeepingConfig) (*LaneKeepingResult, error) {
 		Queue:      q,
 		Seed:       cfg.Seed,
 		MaxDataAge: 220 * simtime.Millisecond,
+		Tracer:     cfg.Tracer,
 		Scene: func(now simtime.Time) exectime.Scene {
 			return exectime.Scene{Obstacles: cfg.Obstacles(float64(now)), LoadFactor: 1}
 		},

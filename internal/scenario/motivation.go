@@ -10,6 +10,7 @@ import (
 	"hcperf/internal/dag"
 	"hcperf/internal/engine"
 	"hcperf/internal/exectime"
+	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
@@ -54,6 +55,9 @@ type MotivationConfig struct {
 	MaxObstacles int
 	// VehicleStep is the dynamics integration step (default 10 ms).
 	VehicleStep float64
+	// Tracer optionally receives the engine's structured lifecycle
+	// event stream (per-job timelines).
+	Tracer lifecycle.Tracer
 }
 
 func (c *MotivationConfig) applyDefaults() error {
@@ -219,6 +223,7 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 		Queue:      q,
 		Seed:       cfg.Seed,
 		MaxDataAge: 220 * simtime.Millisecond,
+		Tracer:     cfg.Tracer,
 		Scene: func(now simtime.Time) exectime.Scene {
 			return exectime.Scene{Obstacles: obstacles(float64(now)), LoadFactor: 1}
 		},
