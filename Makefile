@@ -8,9 +8,9 @@ GO ?= go
 # wall-clock executor.
 RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
              ./internal/engine/... ./internal/scenario/... ./internal/rt/... \
-             ./internal/lifecycle/...
+             ./internal/lifecycle/... ./internal/service/...
 
-.PHONY: ci vet build test race bench fuzz suite trace-demo
+.PHONY: ci vet build test race bench fuzz suite trace-demo serve
 
 ## ci: the tier-1 gate — vet, build, full test suite, then the race pass.
 ci: vet build test race
@@ -46,3 +46,8 @@ suite:
 ## scenario; open trace.json in chrome://tracing or Perfetto.
 trace-demo:
 	$(GO) run ./cmd/hcperf-sim -scenario carfollow -scheme hcperf -duration 20 -trace trace.json
+
+## serve: boot the simulation-as-a-service API on :8080 (see README for
+## curl examples: submit, poll, trace, metrics).
+serve:
+	$(GO) run ./cmd/hcperf-serve -addr :8080

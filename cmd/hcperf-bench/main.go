@@ -36,8 +36,8 @@ func main() {
 
 func run(exp string, seed int64, csvDir string, list bool, parallel int) error {
 	if list {
-		for _, id := range experiment.IDs() {
-			fmt.Println(id)
+		for _, info := range experiment.List() {
+			fmt.Printf("%-16s %s\n", info.ID, info.Title)
 		}
 		return nil
 	}

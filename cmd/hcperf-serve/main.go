@@ -1,0 +1,114 @@
+// Command hcperf-serve exposes the experiment registry and scenario
+// presets as an HTTP/JSON service: submissions land in a bounded job queue
+// worked by a pool, identical requests are deduplicated into one execution
+// and served from a content-addressed LRU result cache, and overload sheds
+// with 429 + Retry-After instead of queueing unboundedly.
+//
+// Usage:
+//
+//	hcperf-serve [-addr :8080] [-workers 4] [-queue 64] [-cache 128] [-drain 10s]
+//	hcperf-serve -version
+//
+// Endpoints:
+//
+//	POST /v1/runs                 submit {"experiment":"fig13","seed":1} or
+//	                              {"scenario":"carfollow","scheme":"edf","trace":true}
+//	GET  /v1/runs/{id}            status + report (append ?series=1 for raw series)
+//	GET  /v1/runs/{id}/trace      lifecycle trace (?format=csv or chrome)
+//	GET  /v1/experiments          registry listing
+//	GET  /v1/version              build identity
+//	GET  /healthz                 liveness (503 while draining)
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /debug/pprof/            runtime profiles
+//
+// SIGINT/SIGTERM begins a graceful drain: the listener stops accepting,
+// queued and in-flight runs get -drain to finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hcperf/internal/service"
+	"hcperf/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 4, "execution worker pool size")
+		queue       = flag.Int("queue", 64, "submission queue bound (full queue sheds with 429)")
+		cache       = flag.Int("cache", 128, "completed-run LRU cache size")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
+		showVersion = flag.Bool("version", false, "print build identity and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
+	if err := run(*addr, *workers, *queue, *cache, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "hcperf-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache int, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, ln, service.Config{Workers: workers, QueueSize: queue, CacheSize: cache}, drain)
+}
+
+// serve runs the service on ln until ctx is cancelled (SIGINT/SIGTERM in
+// production, the test harness in tests), then drains within the deadline:
+// the listener stops accepting first so no new submissions race the drain,
+// then queued and in-flight runs get the remaining budget.
+func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.Duration) error {
+	srv := service.New(cfg)
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("hcperf-serve %s listening on %s (workers=%d queue=%d cache=%d)",
+			version.Get(), ln.Addr(), cfg.Workers, cfg.QueueSize, cfg.CacheSize)
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (deadline %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Manager().Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

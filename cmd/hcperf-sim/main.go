@@ -33,6 +33,7 @@ import (
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
 	"hcperf/internal/trace"
+	"hcperf/internal/version"
 )
 
 func main() {
@@ -45,31 +46,22 @@ func main() {
 		tracePath    = flag.String("trace", "", "write per-job lifecycle events to this file (.csv = CSV, else Chrome trace JSON)")
 		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite)")
 		parallel     = flag.Int("parallel", 1, "suite worker count: N>=1 workers, 0 = GOMAXPROCS")
+		showVersion  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *mode, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
 		os.Exit(1)
 	}
 }
 
+// parseScheme resolves a scheme name via the shared scenario parser.
 func parseScheme(name string) (scenario.Scheme, error) {
-	switch name {
-	case "hpf":
-		return scenario.SchemeHPF, nil
-	case "edf":
-		return scenario.SchemeEDF, nil
-	case "edfvd", "edf-vd":
-		return scenario.SchemeEDFVD, nil
-	case "apollo":
-		return scenario.SchemeApollo, nil
-	case "hcperf":
-		return scenario.SchemeHCPerf, nil
-	case "hcperf-internal":
-		return scenario.SchemeHCPerfInternal, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q", name)
-	}
+	return scenario.ParseScheme(name)
 }
 
 // traceCapacity bounds the in-memory lifecycle event buffer: at the
@@ -257,6 +249,8 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 // byte-identical to a serial run).
 func runSuite(seed int64, parallel int) error {
 	experiment.SetParallelism(parallel)
+	list := experiment.List()
+	fmt.Printf("suite: %d experiments (%s..%s)\n", len(list), list[0].ID, list[len(list)-1].ID)
 	start := time.Now()
 	reports, err := experiment.RunAll(context.Background(), seed, parallel)
 	if err != nil {

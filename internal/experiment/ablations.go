@@ -14,12 +14,18 @@ import (
 // experiments and have matching benchmarks in bench_test.go.
 
 func init() {
-	registry["ablate-gammacap"] = AblateGammaCap
-	registry["ablate-e2e"] = AblateE2E
-	registry["ablate-dataage"] = AblateDataAge
-	registry["sweep-procs"] = SweepProcs
-	registry["ext-aeb"] = ExtAEB
-	registry["ext-dual"] = ExtDualControl
+	register("ablate-gammacap", "Ablation: Dynamic scheduler γ cap sweep",
+		"sweeps the γ cap on car following (internal coordinator only): cap → 0 is least-slack, large caps saturate into static priority", AblateGammaCap)
+	register("ablate-e2e", "Ablation: explicit end-to-end deadline",
+		"car following with and without the explicit end-to-end deadline constraint", AblateE2E)
+	register("ablate-dataage", "Ablation: input-age validity bound",
+		"sweeps the maximum input data age on car following", AblateDataAge)
+	register("sweep-procs", "Sweep: processor count",
+		"car following across processor counts, locating the knee of the miss-ratio curve", SweepProcs)
+	register("ext-aeb", "Extension: automatic emergency braking",
+		"AEB episode beyond the paper: deadline misses translate into stopping-distance loss", ExtAEB)
+	register("ext-dual", "Extension: dual-control combined graph",
+		"combined longitudinal+lateral control on one task graph", ExtDualControl)
 }
 
 // AblateGammaCap sweeps the Dynamic scheduler's γ cap on car following

@@ -11,7 +11,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"hcperf/internal/trace"
@@ -171,40 +170,54 @@ func (r *Report) WriteCSV(dir string) error {
 // Func runs one experiment with the given base seed.
 type Func func(seed int64) (*Report, error)
 
-// registry maps experiment IDs to their implementations.
-var registry = map[string]Func{
-	"fig4":     Fig4Motivation,
-	"fig5":     Fig5ToySchedule,
-	"fig12":    Fig12ExecTimes,
-	"fig13":    Fig13CarFollowing,
-	"table2":   Table2SpeedRMS,
-	"table3":   Table3DistanceRMS,
-	"fig14":    Fig14LaneKeeping,
-	"table4":   Table4LateralRMS,
-	"fig15":    Fig15Hardware,
-	"table5":   Table5HardwareSpeedRMS,
-	"table6":   Table6HardwareDistRMS,
-	"fig16":    Fig16DrivingProcess,
-	"fig17":    Fig17Responsiveness,
-	"fig18":    Fig18Ablation,
-	"overhead": OverheadAnalysis,
+// SeriesPoint is one sample of an exported time series.
+type SeriesPoint struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
 }
 
-// IDs returns the registered experiment IDs, sorted.
-func IDs() []string {
-	out := make([]string, 0, len(registry))
-	for id := range registry {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
+// View is the JSON-serializable form of a Report: the same content
+// WriteText renders, plus (optionally) the raw series keyed by name in
+// recording order. It is what the serving layer returns from
+// GET /v1/runs/{id}.
+type View struct {
+	ID        string                   `json:"id"`
+	Title     string                   `json:"title"`
+	Header    []string                 `json:"header,omitempty"`
+	Rows      [][]string               `json:"rows,omitempty"`
+	PaperRows [][]string               `json:"paper_rows,omitempty"`
+	Notes     []string                 `json:"notes,omitempty"`
+	Volatile  bool                     `json:"volatile,omitempty"`
+	SeriesIdx []string                 `json:"series_names,omitempty"`
+	Series    map[string][]SeriesPoint `json:"series,omitempty"`
 }
 
-// Run executes the experiment with the given ID.
-func Run(id string, seed int64) (*Report, error) {
-	f, ok := registry[id]
-	if !ok {
-		return nil, fmt.Errorf("experiment: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+// View converts the report for serialization. Series data is included only
+// when includeSeries is set — the series are by far the largest part of a
+// report, and status polls don't need them.
+func (r *Report) View(includeSeries bool) *View {
+	v := &View{
+		ID:        r.ID,
+		Title:     r.Title,
+		Header:    r.Header,
+		Rows:      r.Rows,
+		PaperRows: r.PaperRows,
+		Notes:     r.Notes,
+		Volatile:  r.Volatile,
 	}
-	return f(seed)
+	if r.Series != nil {
+		v.SeriesIdx = r.Series.Names()
+		if includeSeries {
+			v.Series = make(map[string][]SeriesPoint, len(v.SeriesIdx))
+			for _, name := range v.SeriesIdx {
+				s := r.Series.Series(name)
+				pts := make([]SeriesPoint, len(s.Samples))
+				for i, p := range s.Samples {
+					pts[i] = SeriesPoint{T: p.T, V: p.V}
+				}
+				v.Series[name] = pts
+			}
+		}
+	}
+	return v
 }

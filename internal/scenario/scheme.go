@@ -54,6 +54,28 @@ func (s Scheme) String() string {
 	}
 }
 
+// ParseScheme resolves a scheme's CLI/API name. It accepts the lowercase
+// spellings the CLIs documented ("edfvd" and "edf-vd" both parse) and is
+// the single parser hcperf-sim and the serving layer share.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "hpf":
+		return SchemeHPF, nil
+	case "edf":
+		return SchemeEDF, nil
+	case "edfvd", "edf-vd":
+		return SchemeEDFVD, nil
+	case "apollo":
+		return SchemeApollo, nil
+	case "hcperf":
+		return SchemeHCPerf, nil
+	case "hcperf-internal":
+		return SchemeHCPerfInternal, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown scheme %q", name)
+	}
+}
+
 // BaselineSchemes returns the four baselines in the paper's table order.
 func BaselineSchemes() []Scheme {
 	return []Scheme{SchemeHPF, SchemeEDF, SchemeEDFVD, SchemeApollo}

@@ -1,0 +1,54 @@
+package service
+
+import "container/list"
+
+// lruCache is a size-bounded, recency-ordered set of completed run
+// digests. It is deliberately not self-locking: the Manager mutates it
+// only under its own mutex, together with the job map the entries point
+// into, so membership and the map can never disagree.
+type lruCache struct {
+	cap   int
+	order *list.List               // front = most recently used
+	elems map[string]*list.Element // digest -> order element (Value is the digest)
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, order: list.New(), elems: make(map[string]*list.Element, capacity)}
+}
+
+// Add inserts or refreshes a digest and returns the digests evicted to
+// stay within capacity.
+func (c *lruCache) Add(digest string) (evicted []string) {
+	if e, ok := c.elems[digest]; ok {
+		c.order.MoveToFront(e)
+		return nil
+	}
+	c.elems[digest] = c.order.PushFront(digest)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		d := oldest.Value.(string)
+		delete(c.elems, d)
+		evicted = append(evicted, d)
+	}
+	return evicted
+}
+
+// Bump marks a digest as most recently used; unknown digests are ignored.
+func (c *lruCache) Bump(digest string) {
+	if e, ok := c.elems[digest]; ok {
+		c.order.MoveToFront(e)
+	}
+}
+
+// Contains reports membership without refreshing recency.
+func (c *lruCache) Contains(digest string) bool {
+	_, ok := c.elems[digest]
+	return ok
+}
+
+// Len is the current entry count.
+func (c *lruCache) Len() int { return c.order.Len() }

@@ -1,0 +1,48 @@
+package service
+
+import "testing"
+
+func TestLRUCacheEvictionOrder(t *testing.T) {
+	c := newLRUCache(2)
+	if ev := c.Add("a"); len(ev) != 0 {
+		t.Fatalf("Add(a) evicted %v", ev)
+	}
+	if ev := c.Add("b"); len(ev) != 0 {
+		t.Fatalf("Add(b) evicted %v", ev)
+	}
+	c.Bump("a") // b is now the victim
+	ev := c.Add("c")
+	if len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("Add(c) evicted %v, want [b]", ev)
+	}
+	if !c.Contains("a") || !c.Contains("c") || c.Contains("b") {
+		t.Errorf("membership after eviction: a=%t b=%t c=%t, want true/false/true",
+			c.Contains("a"), c.Contains("b"), c.Contains("c"))
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheReAddRefreshes(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a")
+	c.Add("b")
+	if ev := c.Add("a"); len(ev) != 0 {
+		t.Fatalf("re-Add(a) evicted %v", ev)
+	}
+	if ev := c.Add("c"); len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("Add(c) evicted %v, want [b] (a was refreshed)", ev)
+	}
+}
+
+func TestLRUCacheMinimumCapacity(t *testing.T) {
+	c := newLRUCache(0) // clamped to 1
+	c.Add("a")
+	if ev := c.Add("b"); len(ev) != 1 || ev[0] != "a" {
+		t.Fatalf("Add(b) evicted %v, want [a]", ev)
+	}
+	if c.Bump("missing"); c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}

@@ -1,0 +1,335 @@
+// Package service turns the experiment registry and the scenario presets
+// into an online HTTP/JSON API: a bounded job queue with a worker pool
+// built on runner.Map, a content-addressed result cache with
+// singleflight-style deduplication of identical submissions, load shedding
+// with 429 + Retry-After under overload, live Prometheus metrics, and a
+// deadline-bounded graceful drain mirroring the shutdown discipline of
+// internal/rt. Determinism of the underlying simulations (enforced by the
+// internal/runner harness) is what makes serving a cached Report for a
+// request digest correct: equal digests provably yield byte-identical
+// reports.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"hcperf/internal/runner"
+)
+
+// Sentinel errors Submit maps to HTTP statuses.
+var (
+	// ErrQueueFull is returned when the bounded submission queue cannot
+	// take another job; handlers translate it to 429 + Retry-After.
+	ErrQueueFull = errors.New("service: submission queue full")
+	// ErrDraining is returned once shutdown has begun; handlers
+	// translate it to 503.
+	ErrDraining = errors.New("service: draining, not accepting new runs")
+)
+
+// JobState is the lifecycle of one submitted run.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: executing on a worker.
+	StateRunning JobState = "running"
+	// StateDone: finished successfully; Result is set.
+	StateDone JobState = "done"
+	// StateFailed: finished with an error; Err is set.
+	StateFailed JobState = "failed"
+	// StateCancelled: shutdown hit the drain deadline before the job
+	// ran (or while a ctx-aware run was in flight).
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one content-addressed run. ID is the request digest, so any two
+// jobs with the same ID are the same computation.
+type Job struct {
+	// ID is the canonical request digest.
+	ID string
+	// Req is the normalized request.
+	Req RunRequest
+
+	mu        sync.Mutex
+	state     JobState
+	result    *RunResult
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// done is closed exactly once when the job reaches a terminal
+	// state; waiters (tests, long-poll handlers) select on it.
+	done chan struct{}
+}
+
+// JobSnapshot is a consistent copy of a job's mutable state.
+type JobSnapshot struct {
+	ID        string
+	Req       RunRequest
+	State     JobState
+	Result    *RunResult
+	Err       error
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Snapshot returns a consistent view of the job.
+func (j *Job) Snapshot() JobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobSnapshot{
+		ID: j.ID, Req: j.Req, State: j.state, Result: j.result, Err: j.err,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = now
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(state JobState, res *RunResult, err error, now time.Time) {
+	j.mu.Lock()
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = now
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// SubmitOutcome says how a submission was satisfied.
+type SubmitOutcome int
+
+const (
+	// SubmitNew: a fresh execution was queued.
+	SubmitNew SubmitOutcome = iota
+	// SubmitDeduped: an identical run is already queued or running; the
+	// submission was coalesced onto it.
+	SubmitDeduped
+	// SubmitCached: an identical run already completed and is in the
+	// result cache.
+	SubmitCached
+)
+
+// ManagerConfig sizes the job manager.
+type ManagerConfig struct {
+	// Workers is the execution pool size (default 2).
+	Workers int
+	// QueueSize bounds the submission queue (default 64); a full queue
+	// sheds load with ErrQueueFull.
+	QueueSize int
+	// CacheSize bounds the completed-run LRU (default 128); evicted
+	// runs re-execute on resubmission.
+	CacheSize int
+	// Run executes one request (default Execute). Tests inject
+	// controllable fakes here.
+	Run RunFunc
+	// Metrics receives operational counters (default a fresh set).
+	Metrics *Metrics
+}
+
+// Manager owns the submission queue, the worker pool, and the
+// content-addressed result cache. All three share one mutex, so the
+// singleflight invariant — at most one live job per digest — holds by
+// construction.
+type Manager struct {
+	run     RunFunc
+	metrics *Metrics
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // every known job: queued, running, and cached terminal
+	cache    *lruCache       // recency order over terminal jobs only
+	queue    chan *Job
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = 64
+	}
+	if cfg.CacheSize < 1 {
+		cfg.CacheSize = 128
+	}
+	if cfg.Run == nil {
+		cfg.Run = Execute
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		run:     cfg.Run,
+		metrics: cfg.Metrics,
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+		cache:   newLRUCache(cfg.CacheSize),
+		queue:   make(chan *Job, cfg.QueueSize),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics exposes the manager's counters for the /metrics handler.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// QueueDepth is the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// CacheLen is the number of terminal runs retained in the LRU.
+func (m *Manager) CacheLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache.Len()
+}
+
+// Job looks up a run by digest.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Submit routes one normalized request: identical to a cached terminal run
+// → that run (LRU refreshed); identical to a queued/running run → that run
+// (singleflight dedup); otherwise a fresh job, unless the queue is full
+// (ErrQueueFull) or the manager is draining (ErrDraining).
+func (m *Manager) Submit(req RunRequest) (*Job, SubmitOutcome, error) {
+	id := req.Digest()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		if j.Snapshot().State.Terminal() {
+			m.cache.Bump(id)
+			m.metrics.CacheHits.Add(1)
+			return j, SubmitCached, nil
+		}
+		m.metrics.DedupHits.Add(1)
+		return j, SubmitDeduped, nil
+	}
+	if m.draining {
+		m.metrics.Rejected.Add(1)
+		return nil, 0, ErrDraining
+	}
+	j := &Job{ID: id, Req: req, state: StateQueued, submitted: time.Now(), done: make(chan struct{})}
+	select {
+	case m.queue <- j:
+	default:
+		m.metrics.Shed.Add(1)
+		return nil, 0, ErrQueueFull
+	}
+	m.jobs[id] = j
+	m.metrics.Misses.Add(1)
+	return j, SubmitNew, nil
+}
+
+// worker drains the queue until it closes. Each job runs through
+// runner.Map, which contributes two properties for free: a panicking
+// experiment is captured as that job's error instead of killing the pool,
+// and a cancelled base context (drain deadline) fails queued jobs without
+// starting them.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+func (m *Manager) runJob(j *Job) {
+	start := time.Now()
+	j.setRunning(start)
+	m.metrics.InFlight.Add(1)
+	results, err := runner.Map(m.baseCtx, 1, []RunRequest{j.Req}, m.run)
+	m.metrics.InFlight.Add(-1)
+	elapsed := time.Since(start)
+
+	state := StateDone
+	var res *RunResult
+	switch {
+	case err == nil:
+		res = results[0]
+		m.metrics.Completed.Add(1)
+		m.metrics.ObserveLatency(j.Req.Kind(), elapsed.Seconds())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		state = StateCancelled
+		m.metrics.Cancelled.Add(1)
+	default:
+		state = StateFailed
+		m.metrics.Failed.Add(1)
+	}
+	j.finish(state, res, err, time.Now())
+
+	// Enter the terminal job into the LRU; evicted digests drop out of
+	// the job map entirely, so a resubmission re-executes.
+	m.mu.Lock()
+	for _, evicted := range m.cache.Add(j.ID) {
+		delete(m.jobs, evicted)
+	}
+	m.mu.Unlock()
+}
+
+// Shutdown stops accepting new runs, lets the workers drain the queue, and
+// waits for them until ctx expires. Past the deadline the base context is
+// cancelled — queued jobs then fail fast with StateCancelled via
+// runner.Map's dispatch check, and Shutdown returns ctx.Err() without
+// waiting on any CPU-bound run already in flight (mirroring the bounded
+// Shutdown of internal/rt). Shutdown is idempotent.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.cancel()
+		return nil
+	case <-ctx.Done():
+		m.cancel()
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun (used by /healthz).
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the run-duration
+// histogram, chosen to resolve both sub-millisecond toy experiments and
+// multi-second full sweeps.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// histogram is a fixed-bucket latency histogram. Guarded by Metrics.mu.
+type histogram struct {
+	counts []uint64 // one per bucket, plus +Inf at the end
+	sum    float64
+	n      uint64
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Metrics aggregates the serving layer's operational counters and exports
+// them in Prometheus text format at GET /metrics. Counters are atomics so
+// the hot path never takes the histogram lock unless it records a latency.
+type Metrics struct {
+	// CacheHits counts submissions answered from a completed cached run;
+	// DedupHits counts submissions coalesced onto an in-flight identical
+	// run; Misses counts submissions that scheduled a new execution.
+	CacheHits, DedupHits, Misses atomic.Uint64
+	// Shed counts submissions rejected with 429 because the queue was
+	// full; Rejected counts submissions refused during drain (503).
+	Shed, Rejected atomic.Uint64
+	// Completed / Failed / Cancelled count finished executions by
+	// outcome.
+	Completed, Failed, Cancelled atomic.Uint64
+	// InFlight is the number of executions currently running.
+	InFlight atomic.Int64
+
+	mu      sync.Mutex
+	latency map[string]*histogram // per experiment/scenario kind
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{latency: make(map[string]*histogram)}
+}
+
+// ObserveLatency records one completed execution's wall-clock duration
+// under its experiment/scenario kind.
+func (m *Metrics) ObserveLatency(kind string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[kind]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+		m.latency[kind] = h
+	}
+	h.observe(seconds)
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format. queueDepth and cacheLen are read live from the manager so the
+// gauges cannot go stale.
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) error {
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	gauge := func(name, help string, v any) {
+		add("# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		add("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("hcperf_queue_depth", "Jobs waiting in the submission queue.", queueDepth)
+	gauge("hcperf_inflight_runs", "Executions currently running.", m.InFlight.Load())
+	gauge("hcperf_cache_entries", "Completed runs held in the LRU result cache.", cacheLen)
+	counter("hcperf_cache_hits_total", "Submissions served from a completed cached run.", m.CacheHits.Load())
+	counter("hcperf_dedup_hits_total", "Submissions coalesced onto an in-flight identical run.", m.DedupHits.Load())
+	counter("hcperf_cache_misses_total", "Submissions that scheduled a new execution.", m.Misses.Load())
+	counter("hcperf_shed_total", "Submissions rejected with 429 because the queue was full.", m.Shed.Load())
+	counter("hcperf_drain_rejected_total", "Submissions refused with 503 during drain.", m.Rejected.Load())
+	counter("hcperf_runs_completed_total", "Executions that finished successfully.", m.Completed.Load())
+	counter("hcperf_runs_failed_total", "Executions that finished with an error.", m.Failed.Load())
+	counter("hcperf_runs_cancelled_total", "Executions cancelled by shutdown before or while running.", m.Cancelled.Load())
+
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	if len(kinds) > 0 {
+		add("# HELP hcperf_run_duration_seconds Wall-clock duration of completed executions.\n")
+		add("# TYPE hcperf_run_duration_seconds histogram\n")
+	}
+	for _, k := range kinds {
+		h := m.latency[k]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			add("hcperf_run_duration_seconds_bucket{experiment=%q,le=%q} %d\n", k, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		add("hcperf_run_duration_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\n", k, cum)
+		add("hcperf_run_duration_seconds_sum{experiment=%q} %g\n", k, h.sum)
+		add("hcperf_run_duration_seconds_count{experiment=%q} %d\n", k, h.n)
+	}
+	m.mu.Unlock()
+
+	_, err := w.Write(b)
+	return err
+}

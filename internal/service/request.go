@@ -1,0 +1,123 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"hcperf/internal/experiment"
+	"hcperf/internal/lifecycle"
+	"hcperf/internal/scenario"
+)
+
+// RunRequest is the body of POST /v1/runs: either a registered experiment
+// (the paper's tables and figures) or a single scenario run under one
+// scheduling scheme. Requests are canonicalized and content-addressed —
+// the run ID is a digest over the normalized fields, so identical requests
+// share one execution and one cached result.
+type RunRequest struct {
+	// Experiment is a registry ID (see GET /v1/experiments), e.g.
+	// "fig13". Mutually exclusive with Scenario.
+	Experiment string `json:"experiment,omitempty"`
+	// Scenario is a driving scenario: carfollow | lanekeep | motivation
+	// | hardware | jam | combined.
+	Scenario string `json:"scenario,omitempty"`
+	// Scheme selects the scheduling scheme for scenario runs (default
+	// "hcperf"): hpf | edf | edfvd | apollo | hcperf | hcperf-internal.
+	Scheme string `json:"scheme,omitempty"`
+	// Seed drives all run randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Duration overrides the scenario duration in seconds (0 = scenario
+	// default). Ignored for experiment runs.
+	Duration float64 `json:"duration,omitempty"`
+	// Trace captures per-job lifecycle events during scenario runs,
+	// served by GET /v1/runs/{id}/trace. Ignored for experiment runs.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// scenarioNames is the closed set of scenario run kinds.
+var scenarioNames = map[string]bool{
+	"carfollow": true, "lanekeep": true, "motivation": true,
+	"hardware": true, "jam": true, "combined": true,
+}
+
+// Normalize validates the request and fills defaults so that every
+// equivalent request maps to the same canonical form (and therefore the
+// same digest).
+func (r RunRequest) Normalize() (RunRequest, error) {
+	if (r.Experiment == "") == (r.Scenario == "") {
+		return r, fmt.Errorf("exactly one of experiment or scenario must be set")
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Experiment != "" {
+		if _, ok := experiment.Lookup(r.Experiment); !ok {
+			return r, fmt.Errorf("unknown experiment %q", r.Experiment)
+		}
+		// Scheme, duration and trace have no meaning for registry
+		// experiments; zero them so they cannot split the cache.
+		r.Scheme, r.Duration, r.Trace = "", 0, false
+		return r, nil
+	}
+	if !scenarioNames[r.Scenario] {
+		return r, fmt.Errorf("unknown scenario %q", r.Scenario)
+	}
+	if r.Scheme == "" {
+		r.Scheme = "hcperf"
+	}
+	if _, err := scenario.ParseScheme(r.Scheme); err != nil {
+		return r, err
+	}
+	if r.Duration < 0 {
+		return r, fmt.Errorf("duration must be >= 0, got %g", r.Duration)
+	}
+	return r, nil
+}
+
+// Digest returns the content address of a normalized request: a SHA-256
+// over every canonical field with explicit separators, so distinct
+// requests cannot alias. Two submissions with equal digests are the same
+// run — determinism of the underlying simulations (enforced by the
+// internal/runner harness) makes serving the cached Report correct.
+func (r RunRequest) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "exp=%s;scn=%s;scheme=%s;seed=%d;dur=%g;trace=%t",
+		r.Experiment, r.Scenario, r.Scheme, r.Seed, r.Duration, r.Trace)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Kind labels the request for metrics: the experiment ID or the scenario
+// name.
+func (r RunRequest) Kind() string {
+	if r.Experiment != "" {
+		return r.Experiment
+	}
+	return r.Scenario
+}
+
+// RunResult is a completed run: the rendered report plus, for traced
+// scenario runs, the captured lifecycle events.
+type RunResult struct {
+	Report *experiment.Report
+	Events []lifecycle.Event
+}
+
+// RunFunc executes one normalized request. The manager's default is
+// Execute; tests inject controllable fakes.
+type RunFunc func(ctx context.Context, req RunRequest) (*RunResult, error)
+
+// Execute runs a normalized request for real: registry experiments go
+// through experiment.Run, scenario requests through the scenario package
+// (capturing lifecycle events into a bounded ring when Trace is set).
+func Execute(_ context.Context, req RunRequest) (*RunResult, error) {
+	if req.Experiment != "" {
+		rep, err := experiment.Run(req.Experiment, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{Report: rep}, nil
+	}
+	return runScenario(req)
+}

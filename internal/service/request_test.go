@@ -1,0 +1,113 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    RunRequest
+		wantErr string
+	}{
+		{name: "neither", give: RunRequest{}, wantErr: "exactly one"},
+		{name: "both", give: RunRequest{Experiment: "fig5", Scenario: "carfollow"}, wantErr: "exactly one"},
+		{name: "unknown experiment", give: RunRequest{Experiment: "fig99"}, wantErr: "unknown experiment"},
+		{name: "unknown scenario", give: RunRequest{Scenario: "flying"}, wantErr: "unknown scenario"},
+		{name: "unknown scheme", give: RunRequest{Scenario: "carfollow", Scheme: "fifo"}, wantErr: "unknown scheme"},
+		{name: "negative duration", give: RunRequest{Scenario: "carfollow", Duration: -1}, wantErr: "duration"},
+		{name: "experiment ok", give: RunRequest{Experiment: "fig5"}},
+		{name: "scenario ok", give: RunRequest{Scenario: "lanekeep", Scheme: "edf-vd", Duration: 5, Trace: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.give.Normalize()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Normalize: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Normalize err = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDigestCanonicalization(t *testing.T) {
+	norm := func(r RunRequest) RunRequest {
+		t.Helper()
+		out, err := r.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// Defaults are canonical: seed 0 and seed 1 are the same request, and
+	// scenario-only fields cannot split the experiment cache.
+	a := norm(RunRequest{Experiment: "fig5"})
+	b := norm(RunRequest{Experiment: "fig5", Seed: 1, Scheme: "edf", Duration: 30, Trace: true})
+	if a.Digest() != b.Digest() {
+		t.Error("equivalent experiment requests produced different digests")
+	}
+	// The default scheme is canonical for scenarios.
+	c := norm(RunRequest{Scenario: "carfollow"})
+	d := norm(RunRequest{Scenario: "carfollow", Scheme: "hcperf", Seed: 1})
+	if c.Digest() != d.Digest() {
+		t.Error("equivalent scenario requests produced different digests")
+	}
+	// Distinct requests must not collide.
+	distinct := []RunRequest{
+		a,
+		c,
+		norm(RunRequest{Experiment: "fig5", Seed: 2}),
+		norm(RunRequest{Experiment: "fig4"}),
+		norm(RunRequest{Scenario: "carfollow", Scheme: "edf"}),
+		norm(RunRequest{Scenario: "carfollow", Duration: 5}),
+		norm(RunRequest{Scenario: "carfollow", Trace: true}),
+	}
+	seen := make(map[string]int)
+	for i, r := range distinct {
+		if prev, dup := seen[r.Digest()]; dup {
+			t.Errorf("requests %d and %d share digest %s", prev, i, r.Digest()[:12])
+		}
+		seen[r.Digest()] = i
+	}
+}
+
+func TestExecuteExperiment(t *testing.T) {
+	req, err := RunRequest{Experiment: "fig5"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil || res.Report.ID != "fig5" {
+		t.Fatalf("Execute report = %+v, want fig5", res.Report)
+	}
+	if len(res.Events) != 0 {
+		t.Error("experiment run unexpectedly captured lifecycle events")
+	}
+}
+
+func TestExecuteScenarioWithTrace(t *testing.T) {
+	req, err := RunRequest{Scenario: "carfollow", Scheme: "edf", Duration: 2, Trace: true}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil || len(res.Report.Rows) == 0 {
+		t.Fatal("scenario run produced no report rows")
+	}
+	if len(res.Events) == 0 {
+		t.Error("traced scenario run captured no lifecycle events")
+	}
+}

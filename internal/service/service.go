@@ -1,0 +1,240 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"hcperf/internal/experiment"
+	"hcperf/internal/lifecycle"
+	"hcperf/internal/version"
+)
+
+// Config sizes the HTTP server's job manager; see ManagerConfig for the
+// field conventions and defaults.
+type Config struct {
+	Workers   int
+	QueueSize int
+	CacheSize int
+	// Run overrides the execution function (tests only).
+	Run RunFunc
+}
+
+// Server is the hcperf-serve HTTP API: run submission and retrieval,
+// registry listing, health, metrics and pprof.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		mgr: NewManager(ManagerConfig{
+			Workers:   cfg.Workers,
+			QueueSize: cfg.QueueSize,
+			CacheSize: cfg.CacheSize,
+			Run:       cfg.Run,
+		}),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleGetTrace)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the routed handler (httptest mounts this directly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Manager exposes the job manager, e.g. for the drain path in main.
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// apiError is the uniform JSON error body every non-2xx response carries.
+type apiError struct {
+	Error struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	var body apiError
+	body.Error.Code = code
+	body.Error.Message = fmt.Sprintf(format, args...)
+	writeJSON(w, code, body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already written; nothing left to do on error
+}
+
+// runStatus is the response body of POST /v1/runs and GET /v1/runs/{id}.
+type runStatus struct {
+	ID        string           `json:"id"`
+	State     JobState         `json:"state"`
+	Request   RunRequest       `json:"request"`
+	Cached    bool             `json:"cached,omitempty"`
+	Deduped   bool             `json:"deduped,omitempty"`
+	ElapsedMS float64          `json:"elapsed_ms,omitempty"`
+	Digest    string           `json:"report_digest,omitempty"`
+	Report    *experiment.View `json:"report,omitempty"`
+	TraceLen  int              `json:"trace_events,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// status renders a job snapshot; includeSeries controls whether the raw
+// time series ride along (GET with ?series=1).
+func status(snap JobSnapshot, includeSeries bool) runStatus {
+	st := runStatus{ID: snap.ID, State: snap.State, Request: snap.Req}
+	if !snap.Finished.IsZero() && !snap.Started.IsZero() {
+		st.ElapsedMS = float64(snap.Finished.Sub(snap.Started)) / float64(time.Millisecond)
+	}
+	if snap.Err != nil {
+		st.Error = snap.Err.Error()
+	}
+	if snap.Result != nil && snap.Result.Report != nil {
+		st.Report = snap.Result.Report.View(includeSeries)
+		if d, err := snap.Result.Report.Digest(); err == nil {
+			st.Digest = d
+		}
+		st.TraceLen = len(snap.Result.Events)
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	req, err := req.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	job, outcome, err := s.mgr.Submit(req)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := status(job.Snapshot(), false)
+	st.Cached = outcome == SubmitCached
+	st.Deduped = outcome == SubmitDeduped
+	code := http.StatusAccepted
+	if outcome == SubmitCached {
+		// The result (or terminal error) is already available.
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q (completed runs may have been evicted from the cache)", r.PathValue("id"))
+		return
+	}
+	includeSeries := r.URL.Query().Get("series") == "1"
+	writeJSON(w, http.StatusOK, status(job.Snapshot(), includeSeries))
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	snap := job.Snapshot()
+	if !snap.State.Terminal() {
+		writeError(w, http.StatusConflict, "run %q is %s; trace is available once it completes", snap.ID, snap.State)
+		return
+	}
+	if snap.Result == nil || len(snap.Result.Events) == 0 {
+		writeError(w, http.StatusNotFound, "run %q captured no lifecycle trace (submit a scenario run with \"trace\": true)", snap.ID)
+		return
+	}
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		err = lifecycle.WriteCSV(w, snap.Result.Events)
+	case "", "chrome", "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = lifecycle.WriteChromeTrace(w, snap.Result.Events)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown trace format %q (want csv or chrome)", format)
+		return
+	}
+	// A write error here means the stream broke mid-body (client went
+	// away); the status line is long gone, so there is nothing to send.
+	_ = err
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []experiment.Info `json:"experiments"`
+		Scenarios   []string          `json:"scenarios"`
+	}{
+		Experiments: experiment.List(),
+		Scenarios:   scenarioList(),
+	})
+}
+
+// scenarioList returns the scenario run kinds, sorted — the same
+// deterministic-listing discipline as the experiment registry.
+func scenarioList() []string {
+	out := make([]string, 0, len(scenarioNames))
+	for name := range scenarioNames {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, version.Get())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.mgr.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// The exposition is rendered in one buffer, so a write error means the
+	// client went away — nothing to report.
+	_ = s.mgr.Metrics().WritePrometheus(w, s.mgr.QueueDepth(), s.mgr.CacheLen())
+}

@@ -1,0 +1,72 @@
+// Package version identifies a built binary from the build info the Go
+// toolchain embeds: module version, VCS revision and dirty flag, and the
+// toolchain itself. Deployed hcperf binaries report it via -version and
+// the serving layer's GET /v1/version.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the identity of the running binary.
+type Info struct {
+	// Module is the main module path (e.g. "hcperf").
+	Module string `json:"module"`
+	// Version is the module version; "(devel)" for non-tagged builds.
+	Version string `json:"version"`
+	// Revision is the VCS commit, when the build embedded one.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time, when embedded.
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// Get reads the build info embedded in the running binary. It degrades
+// gracefully: binaries built without module or VCS info still report the
+// toolchain.
+func Get() Info {
+	info := Info{Module: "hcperf", Version: "(devel)", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, the form the -version flags
+// print.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s (%s)", i.Module, i.Version, i.Go)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Dirty {
+			s += "+dirty"
+		}
+	}
+	return s
+}

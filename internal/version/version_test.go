@@ -1,0 +1,32 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.Module == "" {
+		t.Error("Module empty")
+	}
+	if info.Version == "" {
+		t.Error("Version empty")
+	}
+	if !strings.HasPrefix(info.Go, "go") {
+		t.Errorf("Go = %q, want go-prefixed toolchain version", info.Go)
+	}
+}
+
+func TestString(t *testing.T) {
+	i := Info{Module: "hcperf", Version: "v1.2.3", Go: "go1.22", Revision: "abcdef0123456789", Dirty: true}
+	got := i.String()
+	for _, want := range []string{"hcperf", "v1.2.3", "go1.22", "abcdef012345", "+dirty"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "abcdef0123456789") {
+		t.Errorf("String() = %q, revision not truncated", got)
+	}
+}
