@@ -34,9 +34,11 @@ race:
 bench:
 	$(GO) test -bench='Sweep(Serial|Parallel)|Suite(Serial|Parallel)' -benchtime=3x -run='^$$' .
 
-## fuzz: short fuzz pass of the Hungarian solver against brute force.
+## fuzz: short fuzz passes — Hungarian solver vs brute force, and the
+## scenario-spec JSON decode/validate/re-encode round trip.
 fuzz:
 	$(GO) test -fuzz=FuzzHungarian -fuzztime=10s ./internal/hungarian/
+	$(GO) test -fuzz=FuzzSpecJSON -fuzztime=10s ./internal/scenario/
 
 ## suite: run every experiment once, fanned across GOMAXPROCS workers.
 suite:

@@ -12,6 +12,7 @@
 //	hcperf-sim -scenario hardware  -scheme edf
 //	hcperf-sim -scenario jam       -scheme hcperf
 //	hcperf-sim -scenario combined  -scheme hcperf      # dual-control graph
+//	hcperf-sim -spec examples/specs/fusion-overload.json  # declarative spec
 //	hcperf-sim -mode rt -duration 5 -scheme hcperf     # wall-clock executor
 //	hcperf-sim -mode suite -parallel 4                 # full experiment suite
 package main
@@ -32,7 +33,6 @@ import (
 	"hcperf/internal/scenario"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
-	"hcperf/internal/trace"
 	"hcperf/internal/version"
 )
 
@@ -44,6 +44,7 @@ func main() {
 		duration     = flag.Float64("duration", 0, "override scenario duration (seconds; 0 = default)")
 		csvPath      = flag.String("csv", "", "write recorded series to this CSV file")
 		tracePath    = flag.String("trace", "", "write per-job lifecycle events to this file (.csv = CSV, else Chrome trace JSON)")
+		specPath     = flag.String("spec", "", "run a declarative scenario spec from this JSON file (overrides -scenario/-scheme/-seed/-duration)")
 		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite)")
 		parallel     = flag.Int("parallel", 1, "suite worker count: N>=1 workers, 0 = GOMAXPROCS")
 		showVersion  = flag.Bool("version", false, "print build identity and exit")
@@ -53,7 +54,7 @@ func main() {
 		fmt.Println(version.Get())
 		return
 	}
-	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *mode, *parallel); err != nil {
+	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *specPath, *mode, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
 		os.Exit(1)
 	}
@@ -110,22 +111,28 @@ func writeTrace(tracePath string, ring *lifecycle.Ring) error {
 	return nil
 }
 
-func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, tracePath, mode string, parallel int) error {
+func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, tracePath, specPath, mode string, parallel int) error {
 	if mode == "suite" || mode == "experiments" {
 		if tracePath != "" {
 			return fmt.Errorf("-trace is not supported in suite mode")
 		}
+		if specPath != "" {
+			return fmt.Errorf("-spec is not supported in suite mode")
+		}
 		return runSuite(seed, parallel)
-	}
-	scheme, err := parseScheme(schemeName)
-	if err != nil {
-		return err
 	}
 	ring, err := newTraceRing(tracePath)
 	if err != nil {
 		return err
 	}
 	if mode == "rt" {
+		if specPath != "" {
+			return fmt.Errorf("-spec is not supported in rt mode")
+		}
+		scheme, err := parseScheme(schemeName)
+		if err != nil {
+			return err
+		}
 		if err := runWallClock(scheme, seed, duration, ring); err != nil {
 			return err
 		}
@@ -139,101 +146,45 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		tracer = ring
 	}
 
-	var rec *trace.Recorder
-	switch scenarioName {
-	case "carfollow", "hardware", "jam":
-		cfg := scenario.CarFollowingConfig{Scheme: scheme, Seed: seed}
-		switch scenarioName {
-		case "hardware":
-			if cfg, err = scenario.HardwareCarFollowingConfig(scheme, seed); err != nil {
-				return err
-			}
-		case "jam":
-			if cfg, err = scenario.JamCarFollowingConfig(scheme, seed); err != nil {
-				return err
-			}
-		}
-		if duration > 0 {
-			cfg.Duration = duration
-		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunCarFollowing(cfg)
+	// Every sim run goes through the declarative spec path: the CLI flags
+	// are just shorthand for a minimal spec, and -spec supplies a full one
+	// from disk.
+	var spec scenario.Spec
+	if specPath != "" {
+		f, err := os.Open(specPath)
 		if err != nil {
 			return err
 		}
-		rec = r.Rec
-		fmt.Printf("scenario=%s scheme=%v seed=%d duration=%.0fs\n", scenarioName, scheme, seed, cfg.Duration)
-		fmt.Printf("speed RMS        %.4f m/s\n", r.SpeedErrRMS)
-		fmt.Printf("distance RMS     %.4f m\n", r.DistErrRMS)
-		fmt.Printf("miss ratio       %.4f\n", r.Miss.MeanRatio())
-		fmt.Printf("commands         %d (%.1f/s)\n", r.EngineStats.ControlCommands, r.Throughput)
-		fmt.Printf("mean response    %.1f ms\n", r.MeanResponse*1000)
-		fmt.Printf("mean e2e latency %.1f ms\n", r.EngineStats.EndToEnd.Mean()*1000)
-		if r.Collision {
-			fmt.Printf("COLLISION at t=%.1fs\n", r.CollisionAt)
-		}
-	case "lanekeep":
-		cfg := scenario.LaneKeepingConfig{Scheme: scheme, Seed: seed}
-		if duration > 0 {
-			cfg.Duration = duration
-		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunLaneKeeping(cfg)
+		spec, err = scenario.DecodeSpec(f)
+		f.Close()
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", specPath, err)
 		}
-		rec = r.Rec
-		fmt.Printf("scenario=lanekeep scheme=%v seed=%d\n", scheme, seed)
-		fmt.Printf("offset RMS  %.4f m\n", r.OffsetRMS)
-		fmt.Printf("offset max  %.4f m\n", r.OffsetMax)
-		fmt.Printf("miss ratio  %.4f\n", r.Miss.MeanRatio())
-		fmt.Printf("commands/s  %.1f\n", r.Throughput)
-	case "combined":
-		cfg := scenario.CombinedConfig{Scheme: scheme, Seed: seed}
-		if duration > 0 {
-			cfg.Duration = duration
+	} else {
+		spec = scenario.Spec{Scenario: scenarioName, Scheme: schemeName, Seed: seed, Duration: duration}
+	}
+	r, err := scenario.RunSpec(spec, tracer)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Title)
+	width := 0
+	for _, row := range r.Rows {
+		if len(row[0]) > width {
+			width = len(row[0])
 		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunCombined(cfg)
-		if err != nil {
-			return err
-		}
-		rec = r.Rec
-		fmt.Printf("scenario=combined scheme=%v seed=%d\n", scheme, seed)
-		fmt.Printf("speed RMS   %.4f m/s\n", r.SpeedErrRMS)
-		fmt.Printf("offset RMS  %.4f m\n", r.OffsetRMS)
-		fmt.Printf("commands    lon=%d lat=%d\n", r.LonCommands, r.LatCommands)
-		fmt.Printf("miss ratio  %.4f\n", r.Miss.MeanRatio())
-	case "motivation":
-		cfg := scenario.MotivationConfig{Scheme: scheme, Seed: seed}
-		if duration > 0 {
-			cfg.Duration = duration
-		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunMotivation(cfg)
-		if err != nil {
-			return err
-		}
-		rec = r.Rec
-		fmt.Printf("scenario=motivation scheme=%v seed=%d\n", scheme, seed)
-		fmt.Printf("collision   %t", r.Collision)
-		if r.Collision {
-			fmt.Printf(" at t=%.1fs", r.CollisionAt)
-		}
-		fmt.Println()
-		fmt.Printf("min gap     %.2f m\n", r.MinGap)
-		fmt.Printf("miss ratio  %.4f\n", r.Miss.MeanRatio())
-	default:
-		return fmt.Errorf("unknown scenario %q", scenarioName)
+	}
+	for _, row := range r.Rows {
+		fmt.Printf("%-*s  %s\n", width, row[0], row[1])
 	}
 
-	if csvPath != "" && rec != nil {
+	if csvPath != "" && r.Rec != nil {
 		f, err := os.Create(csvPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := rec.WriteCSV(f); err != nil {
+		if err := r.Rec.WriteCSV(f); err != nil {
 			return err
 		}
 		fmt.Printf("series written to %s\n", csvPath)
@@ -301,7 +252,7 @@ func runWallClock(scheme scenario.Scheme, seed int64, duration float64, tracer *
 		Seed:            seed,
 		TrackingError:   trackErr,
 		DisableExternal: scheme == scenario.SchemeHCPerfInternal,
-		MaxDataAge:      220 * simtime.Millisecond,
+		MaxDataAge:      scenario.DefaultMaxDataAge,
 	}
 	if tracer != nil {
 		cfg.Tracer = tracer

@@ -41,7 +41,7 @@ func TestRunScenariosShort(t *testing.T) {
 	for _, sc := range []string{"carfollow", "lanekeep", "motivation", "hardware", "jam", "combined"} {
 		t.Run(sc, func(t *testing.T) {
 			dur := 5.0
-			if err := run(sc, "edf", 1, dur, "", "", "sim", 1); err != nil {
+			if err := run(sc, "edf", 1, dur, "", "", "", "sim", 1); err != nil {
 				t.Fatalf("run(%s): %v", sc, err)
 			}
 		})
@@ -50,7 +50,7 @@ func TestRunScenariosShort(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "hcperf", 1, 5, path, "", "sim", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 5, path, "", "", "sim", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -64,7 +64,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunWritesChromeTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.json")
-	if err := run("carfollow", "hcperf", 1, 5, "", path, "sim", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 5, "", path, "", "sim", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -96,7 +96,7 @@ func TestRunWritesChromeTrace(t *testing.T) {
 
 func TestRunWritesTraceCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "edf", 1, 5, "", path, "sim", 1); err != nil {
+	if err := run("carfollow", "edf", 1, 5, "", path, "", "sim", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -119,20 +119,85 @@ func TestRunSuiteParallel(t *testing.T) {
 	// The suite must complete through the worker pool with multiple
 	// workers; determinism vs the serial run is enforced separately in
 	// internal/runner's harness tests.
-	if err := run("", "", 1, 0, "", "", "suite", 4); err != nil {
+	if err := run("", "", 1, 0, "", "", "", "suite", 4); err != nil {
 		t.Fatalf("suite run: %v", err)
 	}
 }
 
 func TestRunRejectsInvalid(t *testing.T) {
-	if err := run("bogus", "edf", 1, 0, "", "", "sim", 1); err == nil {
+	if err := run("bogus", "edf", 1, 0, "", "", "", "sim", 1); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("carfollow", "bogus", 1, 0, "", "", "sim", 1); err == nil {
+	if err := run("carfollow", "bogus", 1, 0, "", "", "", "sim", 1); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("carfollow", "edf", 1, 0, "", "", "bogus", 1); err == nil {
+	if err := run("carfollow", "edf", 1, 0, "", "", "", "bogus", 1); err == nil {
 		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	spec := `{
+		"name": "overload-probe",
+		"scenario": "carfollow",
+		"scheme": "edf",
+		"duration": 5,
+		"loads": [{"task": "sensor_fusion", "from": 1, "to": 3, "factor": 2.5}],
+		"obstacles": [{"t": 0, "n": 10}, {"t": 2, "n": 30}]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(t.TempDir(), "run.csv")
+	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1); err != nil {
+		t.Fatalf("run -spec: %v", err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("CSV file is empty")
+	}
+}
+
+func TestRunSpecFileRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	tests := []struct {
+		name, spec, wantErr string
+	}{
+		{"missing file", "", "no such file"},
+		{"unknown field", `{"scenario": "carfollow", "bogus": 1}`, "bogus"},
+		{"unknown scenario", `{"scenario": "bogus"}`, "unknown scenario"},
+		{"unknown task", `{"scenario": "carfollow", "loads": [{"task": "bogus", "from": 0, "to": 1, "factor": 2}]}`, "bogus"},
+		{"negative duration", `{"scenario": "carfollow", "duration": -1}`, "duration"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := filepath.Join(dir, "missing.json")
+			if tt.spec != "" {
+				path = filepath.Join(dir, "spec.json")
+				if err := os.WriteFile(path, []byte(tt.spec), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			err := run("", "", 0, 0, "", "", path, "sim", 1)
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunSpecRejectedOutsideSimMode(t *testing.T) {
+	for _, mode := range []string{"suite", "rt"} {
+		if err := run("", "", 0, 0, "", "", "spec.json", mode, 1); err == nil {
+			t.Errorf("-spec accepted in %s mode", mode)
+		}
 	}
 }
 
@@ -140,10 +205,10 @@ func TestRunWallClockBriefly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock run")
 	}
-	if err := run("carfollow", "hcperf", 1, 2, "", "", "rt", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 2, "", "", "", "rt", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("carfollow", "edf", 1, 2, "", "", "rt", 1); err != nil {
+	if err := run("carfollow", "edf", 1, 2, "", "", "", "rt", 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,10 +6,7 @@ import (
 	"math"
 	"math/rand"
 
-	"hcperf/internal/core"
-	"hcperf/internal/dag"
 	"hcperf/internal/engine"
-	"hcperf/internal/exectime"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
 	"hcperf/internal/sched"
@@ -39,9 +36,9 @@ type CarFollowingConfig struct {
 	// InitSpeed is the follower's starting speed (default: profile
 	// speed at t = 0).
 	InitSpeed float64
-	// LoadSteps optionally multiply the sensor-fusion execution time
-	// over time windows, on top of the obstacle profile (default none).
-	LoadSteps []exectime.Step
+	// Loads optionally multiply task execution times over time windows,
+	// on top of the obstacle profile (default none).
+	Loads []TaskLoad
 	// Obstacles maps time to detected-obstacle count. The default is
 	// the paper's complex-scene episode: 11 obstacles normally (fusion
 	// ≈ 20 ms) and 23 during t ∈ [10 s, 80 s) (fusion ≈ 40 ms, and the
@@ -61,6 +58,9 @@ type CarFollowingConfig struct {
 	RateOverrides map[string]float64
 	// VehicleStep is the dynamics integration step (default 10 ms).
 	VehicleStep float64
+	// SampleRate is the summary-series sample frequency in Hz
+	// (default 1).
+	SampleRate float64
 	// Tracer optionally receives the engine's structured lifecycle
 	// event stream (per-job timelines).
 	Tracer lifecycle.Tracer
@@ -74,8 +74,8 @@ type CarFollowingConfig struct {
 	// (ablation: the external coordinator loses its latency signal).
 	DisableE2E bool
 	// MaxDataAge overrides the input-age validity bound: 0 = default
-	// (220 ms), negative = disabled (ablation: auxiliary-task starvation
-	// becomes free).
+	// (DefaultMaxDataAge, 220 ms), negative = disabled (ablation:
+	// auxiliary-task starvation becomes free).
 	MaxDataAge simtime.Duration
 }
 
@@ -133,6 +133,26 @@ func (c *CarFollowingConfig) applyDefaults() error {
 	return nil
 }
 
+// loop maps the config onto the shared closed-loop kernel.
+func (c *CarFollowingConfig) loop() loopConfig {
+	return loopConfig{
+		Graph:         GraphAD23,
+		Scheme:        c.Scheme,
+		Seed:          c.Seed,
+		Duration:      c.Duration,
+		NumProcs:      c.NumProcs,
+		VehicleStep:   c.VehicleStep,
+		SampleRate:    c.SampleRate,
+		MaxDataAge:    c.MaxDataAge,
+		GammaCap:      c.GammaCap,
+		DisableE2E:    c.DisableE2E,
+		Loads:         c.Loads,
+		RateOverrides: c.RateOverrides,
+		Obstacles:     c.Obstacles,
+		Tracer:        c.Tracer,
+	}
+}
+
 // CarFollowingResult aggregates everything the paper reports for one
 // car-following run.
 type CarFollowingResult struct {
@@ -174,295 +194,188 @@ type CarFollowingResult struct {
 	MaxCommandGap float64
 }
 
-// RunCarFollowing executes one car-following run and returns its result.
-func RunCarFollowing(cfg CarFollowingConfig) (*CarFollowingResult, error) {
-	if err := cfg.applyDefaults(); err != nil {
-		return nil, err
-	}
-	graph, err := dag.ADGraph23()
-	if err != nil {
-		return nil, err
-	}
-	if err := applyLoadSteps(graph, "sensor_fusion", cfg.LoadSteps); err != nil {
-		return nil, err
-	}
-	if err := applyRateOverrides(graph, cfg.RateOverrides); err != nil {
-		return nil, err
-	}
-	if cfg.DisableE2E {
-		graph.TaskByName("control").E2E = 0
-	}
-	scheduler, dyn, err := buildScheduler(cfg.Scheme)
-	if err != nil {
-		return nil, err
-	}
-	if dyn != nil && cfg.GammaCap > 0 {
-		dyn.GammaCap = cfg.GammaCap
-	}
-	maxAge := 220 * simtime.Millisecond
-	switch {
-	case cfg.MaxDataAge > 0:
-		maxAge = cfg.MaxDataAge
-	case cfg.MaxDataAge < 0:
-		maxAge = 0
-	}
+// carFollowPlant is the longitudinal car-following world: a lead vehicle
+// on a speed profile and a follower driven by stale pipeline outputs.
+type carFollowPlant struct {
+	cfg   *CarFollowingConfig
+	rec   *trace.Recorder
+	noise *rand.Rand
+	gains vehicle.CarFollower
 
-	q := simtime.NewEventQueue()
-	rec := trace.NewRecorder()
-	noise := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-
-	// World state.
-	follower, err := vehicle.NewLongitudinal(cfg.Longitudinal)
-	if err != nil {
-		return nil, err
-	}
-	follower.Speed = cfg.InitSpeed
-	desiredGap0 := cfg.FollowerGains.StandstillGap + cfg.FollowerGains.Headway*cfg.InitSpeed
-	lead, err := vehicle.NewLead(cfg.LeadProfile, desiredGap0)
-	if err != nil {
-		return nil, err
-	}
+	follower *vehicle.Longitudinal
+	lead     *vehicle.Lead
 
 	// Full-resolution world history for stale-perception lookups.
-	var histLeadSpeed, histLeadPos, histFolPos, histFolSpeed trace.Series
-	recordHistory := func(now float64) error {
-		if err := histLeadSpeed.Add(now, lead.Speed()); err != nil {
-			return err
-		}
-		if err := histLeadPos.Add(now, lead.Position); err != nil {
-			return err
-		}
-		if err := histFolSpeed.Add(now, follower.Speed); err != nil {
-			return err
-		}
-		return histFolPos.Add(now, follower.Position)
-	}
-	if err := recordHistory(0); err != nil {
-		return nil, err
-	}
+	histLeadSpeed, histLeadPos, histFolPos, histFolSpeed trace.Series
 
-	miss, err := metrics.NewMissBuckets(1)
-	if err != nil {
-		return nil, err
-	}
-	weaklyHard, err := metrics.NewWeaklyHard(1, 10)
-	if err != nil {
-		return nil, err
-	}
-	discomfort, err := metrics.NewDiscomfort(200)
-	if err != nil {
-		return nil, err
-	}
-	var collide metrics.CollisionDetector
+	weaklyHard *metrics.WeaklyHard
+	discomfort *metrics.Discomfort
+	collide    metrics.CollisionDetector
 
-	gains := cfg.FollowerGains
-	perceive := func(cmd engine.ControlCommand) {
-		at := float64(cmd.SourceTime)
-		leadSpd, ok := histLeadSpeed.At(at)
-		if !ok {
-			return
-		}
-		leadPos, _ := histLeadPos.At(at)
-		folPos, _ := histFolPos.At(at)
-		folSpd, _ := histFolSpeed.At(at)
-		if cfg.SpeedNoiseSD > 0 {
-			leadSpd += noise.NormFloat64() * cfg.SpeedNoiseSD
+	// Per-second response-time accounting (Fig. 17(b)) and command-gap
+	// tracking.
+	respWindow     stats.Accumulator
+	lastCmdAt      float64
+	maxGap         float64
+	gapWindowStart float64
+	lastCmds       uint64
+}
+
+func newCarFollowPlant(cfg *CarFollowingConfig, rec *trace.Recorder) (*carFollowPlant, error) {
+	p := &carFollowPlant{
+		cfg:            cfg,
+		rec:            rec,
+		noise:          rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		gains:          cfg.FollowerGains,
+		gapWindowStart: math.Min(20, cfg.Duration/4),
+	}
+	var err error
+	if p.follower, err = vehicle.NewLongitudinal(cfg.Longitudinal); err != nil {
+		return nil, err
+	}
+	p.follower.Speed = cfg.InitSpeed
+	desiredGap0 := cfg.FollowerGains.StandstillGap + cfg.FollowerGains.Headway*cfg.InitSpeed
+	if p.lead, err = vehicle.NewLead(cfg.LeadProfile, desiredGap0); err != nil {
+		return nil, err
+	}
+	if err := p.recordHistory(0); err != nil {
+		return nil, err
+	}
+	if p.weaklyHard, err = metrics.NewWeaklyHard(1, 10); err != nil {
+		return nil, err
+	}
+	if p.discomfort, err = metrics.NewDiscomfort(200); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *carFollowPlant) recordHistory(now float64) error {
+	if err := p.histLeadSpeed.Add(now, p.lead.Speed()); err != nil {
+		return err
+	}
+	if err := p.histLeadPos.Add(now, p.lead.Position); err != nil {
+		return err
+	}
+	if err := p.histFolSpeed.Add(now, p.follower.Speed); err != nil {
+		return err
+	}
+	return p.histFolPos.Add(now, p.follower.Position)
+}
+
+func (p *carFollowPlant) Perceive(cmd engine.ControlCommand) {
+	at := float64(cmd.SourceTime)
+	if leadSpd, ok := p.histLeadSpeed.At(at); ok {
+		leadPos, _ := p.histLeadPos.At(at)
+		folPos, _ := p.histFolPos.At(at)
+		folSpd, _ := p.histFolSpeed.At(at)
+		if p.cfg.SpeedNoiseSD > 0 {
+			leadSpd += p.noise.NormFloat64() * p.cfg.SpeedNoiseSD
 		}
 		gap := leadPos - folPos
-		if cfg.GapNoiseSD > 0 {
-			gap += noise.NormFloat64() * cfg.GapNoiseSD
+		if p.cfg.GapNoiseSD > 0 {
+			gap += p.noise.NormFloat64() * p.cfg.GapNoiseSD
 		}
 		// The planner computes the command from the pipeline's input
 		// snapshot — ego state included — so the full sensing-to-
 		// actuation latency sits inside the control loop, exactly the
 		// quantity scheduling controls.
-		follower.SetAccelCommand(gains.Accel(folSpd, leadSpd, gap))
+		p.follower.SetAccelCommand(p.gains.Accel(folSpd, leadSpd, gap))
 	}
+	p.respWindow.Add(float64(cmd.ResponseTime()))
+	if gap := float64(cmd.Completed) - p.lastCmdAt; gap > p.maxGap && float64(cmd.Completed) >= p.gapWindowStart {
+		p.maxGap = gap
+	}
+	p.lastCmdAt = float64(cmd.Completed)
+}
 
-	// Per-second response-time accounting (Fig. 17(b)) and command-gap
-	// tracking.
-	var respWindow stats.Accumulator
-	lastCmdAt := 0.0
-	maxGap := 0.0
-	gapWindowStart := math.Min(20, cfg.Duration/4)
+func (p *carFollowPlant) JobDecided(j *sched.Job, missed bool) {
+	if j.Task.IsControl {
+		p.weaklyHard.Note(missed)
+	}
+}
 
-	eng, err := engine.New(engine.Config{
-		Graph:      graph,
-		Scheduler:  scheduler,
-		NumProcs:   cfg.NumProcs,
-		Queue:      q,
-		Seed:       cfg.Seed,
-		MaxDataAge: maxAge,
-		Tracer:     cfg.Tracer,
-		Scene: func(now simtime.Time) exectime.Scene {
-			return exectime.Scene{Obstacles: cfg.Obstacles(float64(now)), LoadFactor: 1}
-		},
-		OnControl: func(cmd engine.ControlCommand) {
-			perceive(cmd)
-			respWindow.Add(float64(cmd.ResponseTime()))
-			if gap := float64(cmd.Completed) - lastCmdAt; gap > maxGap && float64(cmd.Completed) >= gapWindowStart {
-				maxGap = gap
-			}
-			lastCmdAt = float64(cmd.Completed)
-		},
-		OnJobDecided: func(now simtime.Time, j *sched.Job, missed bool) {
-			// Sampling error at exactly t=Duration lands in a
-			// fresh bucket; fold it back.
-			t := math.Min(float64(now), cfg.Duration-1e-9)
-			if err := miss.Note(t, missed); err != nil {
-				panic(fmt.Sprintf("scenario: miss bucket: %v", err))
-			}
-			if j.Task.IsControl {
-				weaklyHard.Note(missed)
-			}
-		},
+func (p *carFollowPlant) TrackingError(simtime.Time) float64 {
+	if p.cfg.TrackGapError {
+		desired := p.gains.StandstillGap + p.gains.Headway*p.follower.Speed
+		return math.Abs(desired - (p.lead.Position - p.follower.Position))
+	}
+	return math.Abs(p.lead.Speed() - p.follower.Speed)
+}
+
+func (p *carFollowPlant) CoordSample(now simtime.Time, e, u, gamma float64) {
+	recAdd(p.rec, "tracking_err_sample", float64(now), e)
+	recAdd(p.rec, "u", float64(now), u)
+	recAdd(p.rec, "gamma", float64(now), gamma)
+}
+
+func (p *carFollowPlant) Step(now float64) {
+	step := p.cfg.VehicleStep
+	if err := p.lead.Step(step); err != nil {
+		panic(fmt.Sprintf("scenario: lead step: %v", err))
+	}
+	if err := p.follower.Step(step); err != nil {
+		panic(fmt.Sprintf("scenario: follower step: %v", err))
+	}
+	if err := p.recordHistory(now); err != nil {
+		panic(fmt.Sprintf("scenario: history: %v", err))
+	}
+	gap := p.lead.Position - p.follower.Position
+	desired := p.gains.StandstillGap + p.gains.Headway*p.follower.Speed
+	p.collide.Note(now, gap)
+	if err := p.discomfort.Note(now, p.follower.Accel()); err != nil {
+		panic(fmt.Sprintf("scenario: discomfort: %v", err))
+	}
+	recAdd(p.rec, "lead_speed", now, p.lead.Speed())
+	recAdd(p.rec, "follow_speed", now, p.follower.Speed)
+	recAdd(p.rec, "speed_err", now, p.lead.Speed()-p.follower.Speed)
+	recAdd(p.rec, "gap", now, gap)
+	recAdd(p.rec, "dist_err", now, gap-desired)
+}
+
+func (p *carFollowPlant) Sample(t float64, env *Env) {
+	cmds := env.Eng.Stats().ControlCommands
+	recAdd(p.rec, "throughput", t, float64(cmds-p.lastCmds))
+	p.lastCmds = cmds
+	recAdd(p.rec, "response_ms", t, p.respWindow.Mean()*1000)
+	p.respWindow.Reset()
+	recAdd(p.rec, "discomfort", t, p.discomfort.Index())
+	recAdd(p.rec, "miss_ratio", t, env.Miss.Ratio(int(t)-1))
+	recAdd(p.rec, "queue_len", t, float64(env.Eng.QueueLen()))
+	recAdd(p.rec, "utilization", t, env.Eng.Utilization())
+	recAdd(p.rec, "rate_camera", t, env.Eng.SourceRate(env.Graph.TaskByName("camera_front").ID))
+	recAdd(p.rec, "rate_lidar", t, env.Eng.SourceRate(env.Graph.TaskByName("lidar_scan").ID))
+}
+
+// RunCarFollowing executes one car-following run and returns its result.
+func RunCarFollowing(cfg CarFollowingConfig) (*CarFollowingResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	var p *carFollowPlant
+	out, err := runLoop(cfg.loop(), func(rec *trace.Recorder) (Plant, error) {
+		var err error
+		p, err = newCarFollowPlant(&cfg, rec)
+		return p, err
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	trackErr := func(now simtime.Time) float64 {
-		if cfg.TrackGapError {
-			desired := gains.StandstillGap + gains.Headway*follower.Speed
-			return math.Abs(desired - (lead.Position - follower.Position))
-		}
-		return math.Abs(lead.Speed() - follower.Speed)
-	}
-
-	var coord *core.Coordinator
-	if cfg.Scheme.IsHCPerf() {
-		coord, err = core.New(core.Config{
-			Engine:          eng,
-			Queue:           q,
-			Dynamic:         dyn,
-			TrackingError:   trackErr,
-			DisableExternal: cfg.Scheme == SchemeHCPerfInternal,
-			OnControlPeriod: func(now simtime.Time, e, u, gamma float64) {
-				recAdd(rec, "tracking_err_sample", float64(now), e)
-				recAdd(rec, "u", float64(now), u)
-				recAdd(rec, "gamma", float64(now), gamma)
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Vehicle dynamics loop.
-	if _, err := q.NewTicker(simtime.Time(cfg.VehicleStep), simtime.Duration(cfg.VehicleStep), func(now simtime.Time) {
-		if err := lead.Step(cfg.VehicleStep); err != nil {
-			panic(fmt.Sprintf("scenario: lead step: %v", err))
-		}
-		if err := follower.Step(cfg.VehicleStep); err != nil {
-			panic(fmt.Sprintf("scenario: follower step: %v", err))
-		}
-		t := float64(now)
-		if err := recordHistory(t); err != nil {
-			panic(fmt.Sprintf("scenario: history: %v", err))
-		}
-		gap := lead.Position - follower.Position
-		desired := gains.StandstillGap + gains.Headway*follower.Speed
-		collide.Note(t, gap)
-		if err := discomfort.Note(t, follower.Accel()); err != nil {
-			panic(fmt.Sprintf("scenario: discomfort: %v", err))
-		}
-		recAdd(rec, "lead_speed", t, lead.Speed())
-		recAdd(rec, "follow_speed", t, follower.Speed)
-		recAdd(rec, "speed_err", t, lead.Speed()-follower.Speed)
-		recAdd(rec, "gap", t, gap)
-		recAdd(rec, "dist_err", t, gap-desired)
-	}); err != nil {
-		return nil, err
-	}
-
-	// Once-per-second summary series.
-	var lastCmds uint64
-	if _, err := q.NewTicker(1, 1, func(now simtime.Time) {
-		t := float64(now)
-		cmds := eng.Stats().ControlCommands
-		recAdd(rec, "throughput", t, float64(cmds-lastCmds))
-		lastCmds = cmds
-		recAdd(rec, "response_ms", t, respWindow.Mean()*1000)
-		respWindow.Reset()
-		recAdd(rec, "discomfort", t, discomfort.Index())
-		recAdd(rec, "miss_ratio", t, miss.Ratio(int(t)-1))
-		recAdd(rec, "queue_len", t, float64(eng.QueueLen()))
-		recAdd(rec, "utilization", t, eng.Utilization())
-		recAdd(rec, "rate_camera", t, eng.SourceRate(graph.TaskByName("camera_front").ID))
-		recAdd(rec, "rate_lidar", t, eng.SourceRate(graph.TaskByName("lidar_scan").ID))
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := eng.Start(); err != nil {
-		return nil, err
-	}
-	if coord != nil {
-		if err := coord.Start(); err != nil {
-			return nil, err
-		}
-	}
-	if err := q.RunUntil(simtime.Time(cfg.Duration)); err != nil {
-		return nil, err
-	}
-
 	res := &CarFollowingResult{
-		Scheme:      cfg.Scheme,
-		Rec:         rec,
-		Miss:        miss,
-		EngineStats: eng.Stats(),
-		Collision:   collide.Collided(),
-		CollisionAt: collide.At(),
-		WeaklyHard:  weaklyHard,
+		Scheme:        cfg.Scheme,
+		Rec:           out.Rec,
+		Miss:          out.Miss,
+		EngineStats:   out.EngineStats,
+		Collision:     p.collide.Collided(),
+		CollisionAt:   p.collide.At(),
+		WeaklyHard:    p.weaklyHard,
+		MaxCommandGap: p.maxGap,
+		Overhead:      out.Overhead,
 	}
-	res.MaxCommandGap = maxGap
-	res.SpeedErrRMS = rec.Series("speed_err").RMS(0, cfg.Duration)
-	res.DistErrRMS = rec.Series("dist_err").RMS(0, cfg.Duration)
-	st := eng.Stats()
-	res.MeanResponse = st.ControlResponse.Mean()
-	res.Throughput = float64(st.ControlCommands) / cfg.Duration
-	if coord != nil {
-		res.Overhead = coord.Overhead()
-	}
+	res.SpeedErrRMS = out.Rec.Series("speed_err").RMS(0, cfg.Duration)
+	res.DistErrRMS = out.Rec.Series("dist_err").RMS(0, cfg.Duration)
+	res.MeanResponse = out.EngineStats.ControlResponse.Mean()
+	res.Throughput = float64(out.EngineStats.ControlCommands) / cfg.Duration
 	return res, nil
-}
-
-// applyLoadSteps wraps the named task's execution model in a load profile.
-func applyLoadSteps(g *dag.Graph, taskName string, steps []exectime.Step) error {
-	if len(steps) == 0 {
-		return nil
-	}
-	t := g.TaskByName(taskName)
-	if t == nil {
-		return fmt.Errorf("scenario: unknown task %q for load steps", taskName)
-	}
-	prof, err := exectime.NewProfile(t.Exec, steps)
-	if err != nil {
-		return err
-	}
-	t.Exec = prof
-	return nil
-}
-
-// applyRateOverrides sets the initial rates of source tasks by name.
-func applyRateOverrides(g *dag.Graph, overrides map[string]float64) error {
-	for name, r := range overrides {
-		t := g.TaskByName(name)
-		if t == nil {
-			return fmt.Errorf("scenario: unknown task %q in rate overrides", name)
-		}
-		if t.MaxRate > 0 && (r < t.MinRate || r > t.MaxRate) {
-			return fmt.Errorf("scenario: rate %v for %q outside [%v,%v]", r, name, t.MinRate, t.MaxRate)
-		}
-		t.Rate = r
-	}
-	return g.Validate()
-}
-
-// recAdd appends to a recorder series; recorder series only ever advance
-// with simulation time, so failures indicate harness bugs.
-func recAdd(rec *trace.Recorder, name string, t, v float64) {
-	if err := rec.Add(name, t, v); err != nil {
-		panic(fmt.Sprintf("scenario: record %s: %v", name, err))
-	}
 }

@@ -4,15 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
-	"hcperf/internal/core"
-	"hcperf/internal/dag"
 	"hcperf/internal/engine"
-	"hcperf/internal/exectime"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
-	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
 	"hcperf/internal/trace"
 	"hcperf/internal/vehicle"
@@ -41,8 +36,22 @@ type CombinedConfig struct {
 	Curvature func(s float64) float64
 	// Obstacles maps time to obstacle count (default 14).
 	Obstacles func(t float64) int
+	// RateOverrides sets initial source rates by task name (default:
+	// the car-following rates).
+	RateOverrides map[string]float64
+	// Loads optionally multiply task execution times over time windows
+	// (default none).
+	Loads []TaskLoad
 	// VehicleStep is the dynamics integration step (default 10 ms).
 	VehicleStep float64
+	// SampleRate is the summary-series sample frequency in Hz
+	// (default 1).
+	SampleRate float64
+	// GammaCap overrides the Dynamic scheduler's γ cap (0 = default).
+	GammaCap float64
+	// MaxDataAge overrides the input-age validity bound: 0 = default
+	// (DefaultMaxDataAge, 220 ms), negative = disabled.
+	MaxDataAge simtime.Duration
 	// Tracer optionally receives the engine's structured lifecycle
 	// event stream (per-job timelines).
 	Tracer lifecycle.Tracer
@@ -86,6 +95,12 @@ func (c *CombinedConfig) applyDefaults() error {
 	if c.Obstacles == nil {
 		c.Obstacles = func(float64) int { return 14 }
 	}
+	if c.RateOverrides == nil {
+		c.RateOverrides = map[string]float64{
+			"camera_front": 10, "camera_traffic_light": 8,
+			"lidar_scan": 10, "radar_scan": 12,
+		}
+	}
 	if c.VehicleStep == 0 {
 		c.VehicleStep = 0.01
 	}
@@ -93,6 +108,25 @@ func (c *CombinedConfig) applyDefaults() error {
 		return fmt.Errorf("scenario: non-positive vehicle step %v", c.VehicleStep)
 	}
 	return nil
+}
+
+// loop maps the config onto the shared closed-loop kernel.
+func (c *CombinedConfig) loop() loopConfig {
+	return loopConfig{
+		Graph:         GraphDualControl,
+		Scheme:        c.Scheme,
+		Seed:          c.Seed,
+		Duration:      c.Duration,
+		NumProcs:      c.NumProcs,
+		VehicleStep:   c.VehicleStep,
+		SampleRate:    c.SampleRate,
+		MaxDataAge:    c.MaxDataAge,
+		GammaCap:      c.GammaCap,
+		Loads:         c.Loads,
+		RateOverrides: c.RateOverrides,
+		Obstacles:     c.Obstacles,
+		Tracer:        c.Tracer,
+	}
 }
 
 // CombinedResult aggregates the dual-control outcomes.
@@ -114,203 +148,158 @@ type CombinedResult struct {
 	EngineStats engine.Stats
 }
 
+// combinedPlant runs the longitudinal and lateral worlds side by side and
+// routes control commands by sink task name.
+type combinedPlant struct {
+	cfg *CombinedConfig
+	rec *trace.Recorder
+
+	gains    vehicle.CarFollower
+	follower *vehicle.Longitudinal
+	lead     *vehicle.Lead
+
+	keeper vehicle.LaneKeeper
+	lat    *vehicle.Lateral
+
+	// Full-resolution histories for stale perception.
+	histLeadSpeed, histLeadPos, histFolPos, histFolSpeed trace.Series
+	histOffset, histHeading, histDist                    trace.Series
+
+	lonCmds, latCmds uint64
+}
+
+func newCombinedPlant(cfg *CombinedConfig, rec *trace.Recorder) (*combinedPlant, error) {
+	p := &combinedPlant{
+		cfg:   cfg,
+		rec:   rec,
+		gains: vehicle.CarFollower{Kv: 5, Kg: 1, StandstillGap: 5, Headway: 1.2},
+	}
+	var err error
+	if p.follower, err = vehicle.NewLongitudinal(vehicle.LongitudinalConfig{
+		MaxAccel: 6, MaxBrake: 8, ActuatorTau: 0.1, MaxSpeed: 40,
+	}); err != nil {
+		return nil, err
+	}
+	p.follower.Speed = cfg.LeadProfile.Speed(0)
+	if p.lead, err = vehicle.NewLead(cfg.LeadProfile, p.gains.StandstillGap+p.gains.Headway*p.follower.Speed); err != nil {
+		return nil, err
+	}
+	latCfg := vehicle.LateralConfig{WheelBase: 2.7, MaxSteer: 0.5, ActuatorTau: 0.08}
+	if p.lat, err = vehicle.NewLateral(latCfg); err != nil {
+		return nil, err
+	}
+	p.keeper = vehicle.LaneKeeper{Ky: 0.5, Kpsi: 1.4, WheelBase: latCfg.WheelBase}
+	if err := p.recordHistory(0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *combinedPlant) recordHistory(now float64) error {
+	for _, pair := range []struct {
+		s *trace.Series
+		v float64
+	}{
+		{&p.histLeadSpeed, p.lead.Speed()},
+		{&p.histLeadPos, p.lead.Position},
+		{&p.histFolPos, p.follower.Position},
+		{&p.histFolSpeed, p.follower.Speed},
+		{&p.histOffset, p.lat.Y},
+		{&p.histHeading, p.lat.Psi},
+		{&p.histDist, p.follower.Position},
+	} {
+		if err := pair.s.Add(now, pair.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *combinedPlant) Perceive(cmd engine.ControlCommand) {
+	at := float64(cmd.SourceTime)
+	switch cmd.Task.Name {
+	case "lon_control":
+		p.lonCmds++
+		leadSpd, ok := p.histLeadSpeed.At(at)
+		if !ok {
+			return
+		}
+		leadPos, _ := p.histLeadPos.At(at)
+		folPos, _ := p.histFolPos.At(at)
+		folSpd, _ := p.histFolSpeed.At(at)
+		p.follower.SetAccelCommand(p.gains.Accel(folSpd, leadSpd, leadPos-folPos))
+	case "lat_control":
+		p.latCmds++
+		offset, ok := p.histOffset.At(at)
+		if !ok {
+			return
+		}
+		heading, _ := p.histHeading.At(at)
+		s, _ := p.histDist.At(at)
+		p.lat.SetSteerCommand(p.keeper.Steer(offset, heading, p.cfg.Curvature(s+0.3*p.follower.Speed)))
+	}
+}
+
+// TrackingError is the multi-objective signal: the speed error in its
+// natural scale plus the lateral offset scaled up so a 0.15 m excursion
+// weighs like a 2 m/s speed error.
+func (p *combinedPlant) TrackingError(simtime.Time) float64 {
+	speedErr := math.Abs(p.lead.Speed() - p.follower.Speed)
+	latErr := math.Abs(p.lat.Y) * (2.0 / 0.15)
+	return math.Max(speedErr, latErr)
+}
+
+func (p *combinedPlant) CoordSample(now simtime.Time, e, u, gamma float64) {
+	recAdd(p.rec, "gamma", float64(now), gamma)
+	recAdd(p.rec, "u", float64(now), u)
+}
+
+func (p *combinedPlant) Step(now float64) {
+	step := p.cfg.VehicleStep
+	if err := p.lead.Step(step); err != nil {
+		panic(fmt.Sprintf("scenario: lead step: %v", err))
+	}
+	if err := p.follower.Step(step); err != nil {
+		panic(fmt.Sprintf("scenario: follower step: %v", err))
+	}
+	if err := p.lat.Step(step, p.follower.Speed, p.cfg.Curvature(p.follower.Position)); err != nil {
+		panic(fmt.Sprintf("scenario: lateral step: %v", err))
+	}
+	if err := p.recordHistory(now); err != nil {
+		panic(fmt.Sprintf("scenario: history: %v", err))
+	}
+	recAdd(p.rec, "speed_err", now, p.lead.Speed()-p.follower.Speed)
+	recAdd(p.rec, "offset", now, p.lat.Y)
+	recAdd(p.rec, "gap", now, p.lead.Position-p.follower.Position)
+}
+
+func (p *combinedPlant) Sample(t float64, env *Env) {
+	recAdd(p.rec, "miss_ratio", t, env.Miss.Ratio(int(t)-1))
+}
+
 // RunCombined executes the dual-control scenario.
 func RunCombined(cfg CombinedConfig) (*CombinedResult, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	graph, err := dag.ADGraphDualControl()
-	if err != nil {
-		return nil, err
-	}
-	if err := applyRateOverrides(graph, map[string]float64{
-		"camera_front": 10, "camera_traffic_light": 8,
-		"lidar_scan": 10, "radar_scan": 12,
-	}); err != nil {
-		return nil, err
-	}
-	scheduler, dyn, err := buildScheduler(cfg.Scheme)
-	if err != nil {
-		return nil, err
-	}
-
-	q := simtime.NewEventQueue()
-	rec := trace.NewRecorder()
-	_ = rand.New(rand.NewSource(cfg.Seed)) // reserved for future noise hooks
-
-	// Longitudinal world.
-	gains := vehicle.CarFollower{Kv: 5, Kg: 1, StandstillGap: 5, Headway: 1.2}
-	follower, err := vehicle.NewLongitudinal(vehicle.LongitudinalConfig{
-		MaxAccel: 6, MaxBrake: 8, ActuatorTau: 0.1, MaxSpeed: 40,
+	var p *combinedPlant
+	out, err := runLoop(cfg.loop(), func(rec *trace.Recorder) (Plant, error) {
+		var err error
+		p, err = newCombinedPlant(&cfg, rec)
+		return p, err
 	})
 	if err != nil {
-		return nil, err
-	}
-	follower.Speed = cfg.LeadProfile.Speed(0)
-	lead, err := vehicle.NewLead(cfg.LeadProfile, gains.StandstillGap+gains.Headway*follower.Speed)
-	if err != nil {
-		return nil, err
-	}
-
-	// Lateral world.
-	latCfg := vehicle.LateralConfig{WheelBase: 2.7, MaxSteer: 0.5, ActuatorTau: 0.08}
-	lat, err := vehicle.NewLateral(latCfg)
-	if err != nil {
-		return nil, err
-	}
-	keeper := vehicle.LaneKeeper{Ky: 0.5, Kpsi: 1.4, WheelBase: latCfg.WheelBase}
-
-	// Full-resolution histories for stale perception.
-	var histLeadSpeed, histLeadPos, histFolPos, histFolSpeed, histOffset, histHeading, histDist trace.Series
-	recordHistory := func(now float64) error {
-		for _, pair := range []struct {
-			s *trace.Series
-			v float64
-		}{
-			{&histLeadSpeed, lead.Speed()},
-			{&histLeadPos, lead.Position},
-			{&histFolPos, follower.Position},
-			{&histFolSpeed, follower.Speed},
-			{&histOffset, lat.Y},
-			{&histHeading, lat.Psi},
-			{&histDist, follower.Position},
-		} {
-			if err := pair.s.Add(now, pair.v); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := recordHistory(0); err != nil {
-		return nil, err
-	}
-
-	miss, err := metrics.NewMissBuckets(1)
-	if err != nil {
-		return nil, err
-	}
-
-	var lonCmds, latCmds uint64
-	perceive := func(cmd engine.ControlCommand) {
-		at := float64(cmd.SourceTime)
-		switch cmd.Task.Name {
-		case "lon_control":
-			lonCmds++
-			leadSpd, ok := histLeadSpeed.At(at)
-			if !ok {
-				return
-			}
-			leadPos, _ := histLeadPos.At(at)
-			folPos, _ := histFolPos.At(at)
-			folSpd, _ := histFolSpeed.At(at)
-			follower.SetAccelCommand(gains.Accel(folSpd, leadSpd, leadPos-folPos))
-		case "lat_control":
-			latCmds++
-			offset, ok := histOffset.At(at)
-			if !ok {
-				return
-			}
-			heading, _ := histHeading.At(at)
-			s, _ := histDist.At(at)
-			lat.SetSteerCommand(keeper.Steer(offset, heading, cfg.Curvature(s+0.3*follower.Speed)))
-		}
-	}
-
-	eng, err := engine.New(engine.Config{
-		Graph:      graph,
-		Scheduler:  scheduler,
-		NumProcs:   cfg.NumProcs,
-		Queue:      q,
-		Seed:       cfg.Seed,
-		MaxDataAge: 220 * simtime.Millisecond,
-		Tracer:     cfg.Tracer,
-		Scene: func(now simtime.Time) exectime.Scene {
-			return exectime.Scene{Obstacles: cfg.Obstacles(float64(now)), LoadFactor: 1}
-		},
-		OnControl: func(cmd engine.ControlCommand) { perceive(cmd) },
-		OnJobDecided: func(now simtime.Time, _ *sched.Job, missed bool) {
-			t := math.Min(float64(now), cfg.Duration-1e-9)
-			if err := miss.Note(t, missed); err != nil {
-				panic(fmt.Sprintf("scenario: miss bucket: %v", err))
-			}
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	var coord *core.Coordinator
-	if cfg.Scheme.IsHCPerf() {
-		coord, err = core.New(core.Config{
-			Engine:  eng,
-			Queue:   q,
-			Dynamic: dyn,
-			// Multi-objective tracking error: the speed error in its
-			// natural scale plus the lateral offset scaled up so a
-			// 0.15 m excursion weighs like a 2 m/s speed error.
-			TrackingError: func(simtime.Time) float64 {
-				speedErr := math.Abs(lead.Speed() - follower.Speed)
-				latErr := math.Abs(lat.Y) * (2.0 / 0.15)
-				return math.Max(speedErr, latErr)
-			},
-			DisableExternal: cfg.Scheme == SchemeHCPerfInternal,
-			OnControlPeriod: func(now simtime.Time, e, u, gamma float64) {
-				recAdd(rec, "gamma", float64(now), gamma)
-				recAdd(rec, "u", float64(now), u)
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	if _, err := q.NewTicker(simtime.Time(cfg.VehicleStep), simtime.Duration(cfg.VehicleStep), func(now simtime.Time) {
-		if err := lead.Step(cfg.VehicleStep); err != nil {
-			panic(fmt.Sprintf("scenario: lead step: %v", err))
-		}
-		if err := follower.Step(cfg.VehicleStep); err != nil {
-			panic(fmt.Sprintf("scenario: follower step: %v", err))
-		}
-		if err := lat.Step(cfg.VehicleStep, follower.Speed, cfg.Curvature(follower.Position)); err != nil {
-			panic(fmt.Sprintf("scenario: lateral step: %v", err))
-		}
-		t := float64(now)
-		if err := recordHistory(t); err != nil {
-			panic(fmt.Sprintf("scenario: history: %v", err))
-		}
-		recAdd(rec, "speed_err", t, lead.Speed()-follower.Speed)
-		recAdd(rec, "offset", t, lat.Y)
-		recAdd(rec, "gap", t, lead.Position-follower.Position)
-	}); err != nil {
-		return nil, err
-	}
-	if _, err := q.NewTicker(1, 1, func(now simtime.Time) {
-		t := float64(now)
-		recAdd(rec, "miss_ratio", t, miss.Ratio(int(t)-1))
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := eng.Start(); err != nil {
-		return nil, err
-	}
-	if coord != nil {
-		if err := coord.Start(); err != nil {
-			return nil, err
-		}
-	}
-	if err := q.RunUntil(simtime.Time(cfg.Duration)); err != nil {
 		return nil, err
 	}
 
 	return &CombinedResult{
 		Scheme:      cfg.Scheme,
-		Rec:         rec,
-		SpeedErrRMS: rec.Series("speed_err").RMS(0, cfg.Duration),
-		OffsetRMS:   rec.Series("offset").RMS(0, cfg.Duration),
-		LonCommands: lonCmds,
-		LatCommands: latCmds,
-		Miss:        miss,
-		EngineStats: eng.Stats(),
+		Rec:         out.Rec,
+		SpeedErrRMS: out.Rec.Series("speed_err").RMS(0, cfg.Duration),
+		OffsetRMS:   out.Rec.Series("offset").RMS(0, cfg.Duration),
+		LonCommands: p.lonCmds,
+		LatCommands: p.latCmds,
+		Miss:        out.Miss,
+		EngineStats: out.EngineStats,
 	}, nil
 }

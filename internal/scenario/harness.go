@@ -1,0 +1,343 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hcperf/internal/core"
+	"hcperf/internal/dag"
+	"hcperf/internal/engine"
+	"hcperf/internal/exectime"
+	"hcperf/internal/lifecycle"
+	"hcperf/internal/metrics"
+	"hcperf/internal/rate"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+	"hcperf/internal/stats"
+	"hcperf/internal/trace"
+)
+
+// This file is the shared closed-loop simulation kernel under every
+// scenario. One loop owns the machinery each scenario used to duplicate —
+// graph construction, load steps, rate overrides, scheduler/γ-cap setup,
+// engine wiring, coordinator wiring, the vehicle-dynamics ticker, the
+// summary-sample ticker and per-second deadline accounting. A scenario is
+// a Plant (the vehicle-side world) plus a loopConfig (declarative knobs);
+// the four paper scenarios and any custom Spec all run through runLoop.
+
+// DefaultMaxDataAge is the input-age validity bound every scenario uses
+// unless overridden: a control output computed from sensor data older than
+// this is treated as a deadline miss (paper §V-B).
+const DefaultMaxDataAge = 220 * simtime.Millisecond
+
+// resolveMaxDataAge maps the MaxDataAge config sentinel to the engine
+// value: 0 means the 220 ms default, negative disables the bound entirely
+// (the engine treats 0 as "no bound").
+func resolveMaxDataAge(v simtime.Duration) simtime.Duration {
+	switch {
+	case v > 0:
+		return v
+	case v < 0:
+		return 0
+	default:
+		return DefaultMaxDataAge
+	}
+}
+
+// Graph names accepted by the harness and the Spec layer.
+const (
+	// GraphAD23 is the paper's 23-task autonomous-driving graph.
+	GraphAD23 = "ad23"
+	// GraphDualControl is the 24-task dual-sink extension graph.
+	GraphDualControl = "dual-control"
+	// GraphMotivation is the §II motivation graph (Fig. 2).
+	GraphMotivation = "motivation"
+)
+
+// GraphNames lists the known task graphs in stable order.
+func GraphNames() []string {
+	return []string{GraphAD23, GraphDualControl, GraphMotivation}
+}
+
+// BuildGraph constructs a fresh task graph by name.
+func BuildGraph(name string) (*dag.Graph, error) {
+	switch name {
+	case GraphAD23:
+		return dag.ADGraph23()
+	case GraphDualControl:
+		return dag.ADGraphDualControl()
+	case GraphMotivation:
+		return dag.MotivationGraph()
+	default:
+		return nil, fmt.Errorf("scenario: unknown graph %q (have %s)",
+			name, strings.Join(GraphNames(), ", "))
+	}
+}
+
+// TaskLoad multiplies one task's execution time over time windows, on top
+// of the obstacle profile — the mechanism behind the complex-scene and
+// load-sweep studies.
+type TaskLoad struct {
+	// Task names the target task in the selected graph.
+	Task string
+	// Steps are the multiplicative windows (see exectime.NewProfile).
+	Steps []exectime.Step
+}
+
+// Plant is the vehicle-side world a scenario plugs into the loop: it
+// integrates dynamics, perceives through stale pipeline outputs, exposes
+// the tracking error the coordinator regulates, and records its
+// scenario-specific series.
+type Plant interface {
+	// Perceive handles one control command: look up world history at the
+	// command's source time and actuate. Called for every command the
+	// pipeline emits.
+	Perceive(cmd engine.ControlCommand)
+	// Step advances vehicle dynamics by one VehicleStep ending at now,
+	// records world history and per-step series.
+	Step(now float64)
+	// TrackingError is the performance signal the coordinator regulates
+	// (HCPerf schemes only).
+	TrackingError(now simtime.Time) float64
+	// CoordSample observes one coordinator control period (HCPerf schemes
+	// only); plants record gamma/u/error series here, or nothing.
+	CoordSample(now simtime.Time, e, u, gamma float64)
+	// Sample records the once-per-SamplePeriod summary series.
+	Sample(now float64, env *Env)
+}
+
+// JobObserver is an optional Plant extension: scenarios that account
+// per-job outcomes beyond the harness's miss buckets (e.g. the weakly-hard
+// tracker) implement it.
+type JobObserver interface {
+	JobDecided(j *sched.Job, missed bool)
+}
+
+// Env exposes the engine-side state a Plant may read while sampling.
+type Env struct {
+	Eng   *engine.Engine
+	Graph *dag.Graph
+	Miss  *metrics.MissBuckets
+}
+
+// loopConfig is the declarative half of a scenario: everything the closed
+// loop needs that is not vehicle dynamics.
+type loopConfig struct {
+	// Graph names the task graph (BuildGraph).
+	Graph string
+	// Scheme selects the scheduling scheme.
+	Scheme Scheme
+	// Seed drives engine randomness.
+	Seed int64
+	// Duration is the simulated span in seconds.
+	Duration float64
+	// NumProcs is the processor count.
+	NumProcs int
+	// VehicleStep is the dynamics integration step in seconds.
+	VehicleStep float64
+	// SampleRate is the summary-sample frequency in Hz (0 = 1 Hz).
+	SampleRate float64
+	// MaxDataAge carries the config sentinel (see resolveMaxDataAge).
+	MaxDataAge simtime.Duration
+	// GammaCap overrides the Dynamic scheduler's γ cap (0 = default).
+	GammaCap float64
+	// DisableE2E clears the end-to-end deadline of every control task.
+	DisableE2E bool
+	// Loads multiply task execution times over time windows.
+	Loads []TaskLoad
+	// RateOverrides sets initial source rates by task name.
+	RateOverrides map[string]float64
+	// Obstacles maps time to detected-obstacle count.
+	Obstacles func(t float64) int
+	// Tracer optionally receives the engine's lifecycle event stream.
+	Tracer lifecycle.Tracer
+	// MFCScale overrides the MFC gain scale (0 = coordinator default).
+	MFCScale float64
+	// RateConfig tunes the Task Rate Adapter (zero value = default).
+	RateConfig rate.Config
+}
+
+// loopResult is what the kernel hands back; plants keep their own
+// scenario-specific aggregates internally.
+type loopResult struct {
+	Rec         *trace.Recorder
+	Miss        *metrics.MissBuckets
+	EngineStats engine.Stats
+	Overhead    stats.Accumulator
+}
+
+// runLoop executes one closed-loop run: build the graph and scheduler,
+// wire engine + coordinator + plant, tick dynamics and summaries, run to
+// Duration. The build callback constructs the plant against the shared
+// recorder after the static configuration is validated.
+func runLoop(lc loopConfig, build func(rec *trace.Recorder) (Plant, error)) (*loopResult, error) {
+	graph, err := BuildGraph(lc.Graph)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lc.Loads {
+		if err := applyLoadSteps(graph, l.Task, l.Steps); err != nil {
+			return nil, err
+		}
+	}
+	if len(lc.RateOverrides) > 0 {
+		if err := applyRateOverrides(graph, lc.RateOverrides); err != nil {
+			return nil, err
+		}
+	}
+	if lc.DisableE2E {
+		for _, t := range graph.Tasks() {
+			if t.IsControl {
+				t.E2E = 0
+			}
+		}
+	}
+	scheduler, dyn, err := buildScheduler(lc.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if dyn != nil && lc.GammaCap > 0 {
+		dyn.GammaCap = lc.GammaCap
+	}
+	if lc.SampleRate < 0 {
+		return nil, fmt.Errorf("scenario: negative sample rate %v", lc.SampleRate)
+	}
+	samplePeriod := 1.0
+	if lc.SampleRate > 0 {
+		samplePeriod = 1 / lc.SampleRate
+	}
+
+	q := simtime.NewEventQueue()
+	rec := trace.NewRecorder()
+	plant, err := build(rec)
+	if err != nil {
+		return nil, err
+	}
+	jobs, _ := plant.(JobObserver)
+
+	miss, err := metrics.NewMissBuckets(1)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Graph: graph, Miss: miss}
+
+	eng, err := engine.New(engine.Config{
+		Graph:      graph,
+		Scheduler:  scheduler,
+		NumProcs:   lc.NumProcs,
+		Queue:      q,
+		Seed:       lc.Seed,
+		MaxDataAge: resolveMaxDataAge(lc.MaxDataAge),
+		Tracer:     lc.Tracer,
+		Scene: func(now simtime.Time) exectime.Scene {
+			return exectime.Scene{Obstacles: lc.Obstacles(float64(now)), LoadFactor: 1}
+		},
+		OnControl: plant.Perceive,
+		OnJobDecided: func(now simtime.Time, j *sched.Job, missed bool) {
+			// Sampling error at exactly t=Duration lands in a fresh
+			// bucket; fold it back.
+			t := math.Min(float64(now), lc.Duration-1e-9)
+			if err := miss.Note(t, missed); err != nil {
+				panic(fmt.Sprintf("scenario: miss bucket: %v", err))
+			}
+			if jobs != nil {
+				jobs.JobDecided(j, missed)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.Eng = eng
+
+	var coord *core.Coordinator
+	if lc.Scheme.IsHCPerf() {
+		ccfg := core.Config{
+			Engine:          eng,
+			Queue:           q,
+			Dynamic:         dyn,
+			Rate:            lc.RateConfig,
+			TrackingError:   plant.TrackingError,
+			DisableExternal: lc.Scheme == SchemeHCPerfInternal,
+			OnControlPeriod: plant.CoordSample,
+		}
+		if lc.MFCScale > 0 {
+			ccfg.MFC = core.MFCConfigForScale(lc.MFCScale, dyn.GammaCap)
+		}
+		if coord, err = core.New(ccfg); err != nil {
+			return nil, err
+		}
+	}
+
+	// Vehicle dynamics loop.
+	if _, err := q.NewTicker(simtime.Time(lc.VehicleStep), simtime.Duration(lc.VehicleStep), func(now simtime.Time) {
+		plant.Step(float64(now))
+	}); err != nil {
+		return nil, err
+	}
+	// Summary series.
+	if _, err := q.NewTicker(simtime.Time(samplePeriod), simtime.Duration(samplePeriod), func(now simtime.Time) {
+		plant.Sample(float64(now), env)
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	if coord != nil {
+		if err := coord.Start(); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.RunUntil(simtime.Time(lc.Duration)); err != nil {
+		return nil, err
+	}
+
+	res := &loopResult{Rec: rec, Miss: miss, EngineStats: eng.Stats()}
+	if coord != nil {
+		res.Overhead = coord.Overhead()
+	}
+	return res, nil
+}
+
+// applyLoadSteps wraps the named task's execution model in a load profile.
+func applyLoadSteps(g *dag.Graph, taskName string, steps []exectime.Step) error {
+	if len(steps) == 0 {
+		return nil
+	}
+	t := g.TaskByName(taskName)
+	if t == nil {
+		return fmt.Errorf("scenario: unknown task %q for load steps", taskName)
+	}
+	prof, err := exectime.NewProfile(t.Exec, steps)
+	if err != nil {
+		return err
+	}
+	t.Exec = prof
+	return nil
+}
+
+// applyRateOverrides sets the initial rates of source tasks by name.
+func applyRateOverrides(g *dag.Graph, overrides map[string]float64) error {
+	for name, r := range overrides {
+		t := g.TaskByName(name)
+		if t == nil {
+			return fmt.Errorf("scenario: unknown task %q in rate overrides", name)
+		}
+		if t.MaxRate > 0 && (r < t.MinRate || r > t.MaxRate) {
+			return fmt.Errorf("scenario: rate %v for %q outside [%v,%v]", r, name, t.MinRate, t.MaxRate)
+		}
+		t.Rate = r
+	}
+	return g.Validate()
+}
+
+// recAdd appends to a recorder series; recorder series only ever advance
+// with simulation time, so failures indicate harness bugs.
+func recAdd(rec *trace.Recorder, name string, t, v float64) {
+	if err := rec.Add(name, t, v); err != nil {
+		panic(fmt.Sprintf("scenario: record %s: %v", name, err))
+	}
+}

@@ -6,14 +6,10 @@ import (
 	"math"
 	"math/rand"
 
-	"hcperf/internal/core"
-	"hcperf/internal/dag"
 	"hcperf/internal/engine"
-	"hcperf/internal/exectime"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
 	"hcperf/internal/rate"
-	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
 	"hcperf/internal/stats"
 	"hcperf/internal/trace"
@@ -47,11 +43,22 @@ type LaneKeepingConfig struct {
 	KeeperGains vehicle.LaneKeeper
 	// RateOverrides sets initial source rates by task name.
 	RateOverrides map[string]float64
+	// Loads optionally multiply task execution times over time windows
+	// (default none).
+	Loads []TaskLoad
 	// VehicleStep is the dynamics integration step (default 10 ms).
 	VehicleStep float64
+	// SampleRate is the summary-series sample frequency in Hz
+	// (default 1).
+	SampleRate float64
 	// OffsetNoiseSD adds Gaussian noise to the perceived lateral offset
 	// (m).
 	OffsetNoiseSD float64
+	// GammaCap overrides the Dynamic scheduler's γ cap (0 = default).
+	GammaCap float64
+	// MaxDataAge overrides the input-age validity bound: 0 = default
+	// (DefaultMaxDataAge, 220 ms), negative = disabled.
+	MaxDataAge simtime.Duration
 	// Tracer optionally receives the engine's structured lifecycle
 	// event stream (per-job timelines).
 	Tracer lifecycle.Tracer
@@ -110,6 +117,32 @@ func (c *LaneKeepingConfig) applyDefaults() error {
 	return nil
 }
 
+// loop maps the config onto the shared closed-loop kernel. Lane keeping
+// uses the lane-keeping MFC scale and rate-adapter profile: the controller
+// gains are scaled to centimetre-scale errors, and the rate adapter probes
+// conservatively — at a fixed cruise speed extra sensor throughput cannot
+// improve steering, so the offline-profiled ε is small (paper §VI: K_p and
+// the probing error are set from offline profiled data).
+func (c *LaneKeepingConfig) loop() loopConfig {
+	return loopConfig{
+		Graph:         GraphAD23,
+		Scheme:        c.Scheme,
+		Seed:          c.Seed,
+		Duration:      c.Duration,
+		NumProcs:      c.NumProcs,
+		VehicleStep:   c.VehicleStep,
+		SampleRate:    c.SampleRate,
+		MaxDataAge:    c.MaxDataAge,
+		GammaCap:      c.GammaCap,
+		Loads:         c.Loads,
+		RateOverrides: c.RateOverrides,
+		Obstacles:     c.Obstacles,
+		Tracer:        c.Tracer,
+		MFCScale:      0.1,
+		RateConfig:    laneKeepingRateConfig(),
+	}
+}
+
 // LaneKeepingResult aggregates the lane-keeping outcomes.
 type LaneKeepingResult struct {
 	// Scheme is the scheme that produced this result.
@@ -142,174 +175,121 @@ func laneKeepingRateConfig() rate.Config {
 	return cfg
 }
 
+// laneKeepPlant is the lateral lane-keeping world: a bicycle-model vehicle
+// steered along a closed track from stale pipeline outputs.
+type laneKeepPlant struct {
+	cfg   *LaneKeepingConfig
+	rec   *trace.Recorder
+	noise *rand.Rand
+	gains vehicle.LaneKeeper
+
+	lat      *vehicle.Lateral
+	distance float64 // arc length along the track
+
+	// Full-resolution history for stale-perception lookups.
+	histOffset, histHeading, histDistance trace.Series
+
+	lastCmds uint64
+}
+
+func newLaneKeepPlant(cfg *LaneKeepingConfig, rec *trace.Recorder) (*laneKeepPlant, error) {
+	p := &laneKeepPlant{
+		cfg:   cfg,
+		rec:   rec,
+		noise: rand.New(rand.NewSource(cfg.Seed ^ 0x1a4e)),
+		gains: cfg.KeeperGains,
+	}
+	var err error
+	if p.lat, err = vehicle.NewLateral(cfg.Lateral); err != nil {
+		return nil, err
+	}
+	if err := p.recordHistory(0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *laneKeepPlant) recordHistory(now float64) error {
+	if err := p.histOffset.Add(now, p.lat.Y); err != nil {
+		return err
+	}
+	if err := p.histHeading.Add(now, p.lat.Psi); err != nil {
+		return err
+	}
+	return p.histDistance.Add(now, p.distance)
+}
+
+func (p *laneKeepPlant) Perceive(cmd engine.ControlCommand) {
+	at := float64(cmd.SourceTime)
+	offset, ok := p.histOffset.At(at)
+	if !ok {
+		return
+	}
+	heading, _ := p.histHeading.At(at)
+	s, _ := p.histDistance.At(at)
+	if p.cfg.OffsetNoiseSD > 0 {
+		offset += p.noise.NormFloat64() * p.cfg.OffsetNoiseSD
+	}
+	// Feed-forward uses the curvature a short preview ahead of the
+	// perceived position.
+	curv := p.cfg.Track.Curvature(s + 0.3*p.cfg.Speed)
+	p.lat.SetSteerCommand(p.gains.Steer(offset, heading, curv))
+}
+
+// TrackingError is the performance metric: the lateral offset from the
+// lane centre (paper §VII-B2).
+func (p *laneKeepPlant) TrackingError(simtime.Time) float64 { return math.Abs(p.lat.Y) }
+
+func (p *laneKeepPlant) CoordSample(now simtime.Time, e, u, gamma float64) {
+	recAdd(p.rec, "tracking_err_sample", float64(now), e)
+	recAdd(p.rec, "u", float64(now), u)
+	recAdd(p.rec, "gamma", float64(now), gamma)
+}
+
+func (p *laneKeepPlant) Step(now float64) {
+	step := p.cfg.VehicleStep
+	curv := p.cfg.Track.Curvature(p.distance)
+	if err := p.lat.Step(step, p.cfg.Speed, curv); err != nil {
+		panic(fmt.Sprintf("scenario: lateral step: %v", err))
+	}
+	p.distance += p.cfg.Speed * step
+	if err := p.recordHistory(now); err != nil {
+		panic(fmt.Sprintf("scenario: history: %v", err))
+	}
+	recAdd(p.rec, "offset", now, p.lat.Y)
+	recAdd(p.rec, "heading", now, p.lat.Psi)
+	recAdd(p.rec, "curvature", now, curv)
+}
+
+func (p *laneKeepPlant) Sample(t float64, env *Env) {
+	cmds := env.Eng.Stats().ControlCommands
+	recAdd(p.rec, "throughput", t, float64(cmds-p.lastCmds))
+	p.lastCmds = cmds
+	recAdd(p.rec, "miss_ratio", t, env.Miss.Ratio(int(t)-1))
+}
+
 // RunLaneKeeping executes one loop-driving run.
 func RunLaneKeeping(cfg LaneKeepingConfig) (*LaneKeepingResult, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	graph, err := dag.ADGraph23()
-	if err != nil {
-		return nil, err
-	}
-	if err := applyRateOverrides(graph, cfg.RateOverrides); err != nil {
-		return nil, err
-	}
-	scheduler, dyn, err := buildScheduler(cfg.Scheme)
-	if err != nil {
-		return nil, err
-	}
-
-	q := simtime.NewEventQueue()
-	rec := trace.NewRecorder()
-	noise := rand.New(rand.NewSource(cfg.Seed ^ 0x1a4e))
-
-	lat, err := vehicle.NewLateral(cfg.Lateral)
-	if err != nil {
-		return nil, err
-	}
-	distance := 0.0 // arc length along the track
-
-	// Full-resolution history for stale-perception lookups.
-	var histOffset, histHeading, histDistance trace.Series
-	recordHistory := func(now float64) error {
-		if err := histOffset.Add(now, lat.Y); err != nil {
-			return err
-		}
-		if err := histHeading.Add(now, lat.Psi); err != nil {
-			return err
-		}
-		return histDistance.Add(now, distance)
-	}
-	if err := recordHistory(0); err != nil {
-		return nil, err
-	}
-
-	miss, err := metrics.NewMissBuckets(1)
-	if err != nil {
-		return nil, err
-	}
-
-	gains := cfg.KeeperGains
-	perceive := func(cmd engine.ControlCommand) {
-		at := float64(cmd.SourceTime)
-		offset, ok := histOffset.At(at)
-		if !ok {
-			return
-		}
-		heading, _ := histHeading.At(at)
-		s, _ := histDistance.At(at)
-		if cfg.OffsetNoiseSD > 0 {
-			offset += noise.NormFloat64() * cfg.OffsetNoiseSD
-		}
-		// Feed-forward uses the curvature a short preview ahead of the
-		// perceived position.
-		curv := cfg.Track.Curvature(s + 0.3*cfg.Speed)
-		lat.SetSteerCommand(gains.Steer(offset, heading, curv))
-	}
-
-	eng, err := engine.New(engine.Config{
-		Graph:      graph,
-		Scheduler:  scheduler,
-		NumProcs:   cfg.NumProcs,
-		Queue:      q,
-		Seed:       cfg.Seed,
-		MaxDataAge: 220 * simtime.Millisecond,
-		Tracer:     cfg.Tracer,
-		Scene: func(now simtime.Time) exectime.Scene {
-			return exectime.Scene{Obstacles: cfg.Obstacles(float64(now)), LoadFactor: 1}
-		},
-		OnControl: func(cmd engine.ControlCommand) { perceive(cmd) },
-		OnJobDecided: func(now simtime.Time, _ *sched.Job, missed bool) {
-			t := math.Min(float64(now), cfg.Duration-1e-9)
-			if err := miss.Note(t, missed); err != nil {
-				panic(fmt.Sprintf("scenario: miss bucket: %v", err))
-			}
-		},
+	out, err := runLoop(cfg.loop(), func(rec *trace.Recorder) (Plant, error) {
+		return newLaneKeepPlant(&cfg, rec)
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	var coord *core.Coordinator
-	if cfg.Scheme.IsHCPerf() {
-		coord, err = core.New(core.Config{
-			Engine:  eng,
-			Queue:   q,
-			Dynamic: dyn,
-			// Performance metric: the lateral offset from the lane
-			// centre (paper §VII-B2). The controller gains are scaled
-			// to lane-keeping's centimetre-scale errors, and the rate
-			// adapter probes conservatively: at a fixed cruise speed
-			// extra sensor throughput cannot improve steering, so the
-			// offline-profiled ε is small (paper §VI: K_p and the
-			// probing error are set from offline profiled data).
-			MFC:             core.MFCConfigForScale(0.1, dyn.GammaCap),
-			Rate:            laneKeepingRateConfig(),
-			TrackingError:   func(simtime.Time) float64 { return math.Abs(lat.Y) },
-			DisableExternal: cfg.Scheme == SchemeHCPerfInternal,
-			OnControlPeriod: func(now simtime.Time, e, u, gamma float64) {
-				recAdd(rec, "tracking_err_sample", float64(now), e)
-				recAdd(rec, "u", float64(now), u)
-				recAdd(rec, "gamma", float64(now), gamma)
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	if _, err := q.NewTicker(simtime.Time(cfg.VehicleStep), simtime.Duration(cfg.VehicleStep), func(now simtime.Time) {
-		curv := cfg.Track.Curvature(distance)
-		if err := lat.Step(cfg.VehicleStep, cfg.Speed, curv); err != nil {
-			panic(fmt.Sprintf("scenario: lateral step: %v", err))
-		}
-		distance += cfg.Speed * cfg.VehicleStep
-		t := float64(now)
-		if err := recordHistory(t); err != nil {
-			panic(fmt.Sprintf("scenario: history: %v", err))
-		}
-		recAdd(rec, "offset", t, lat.Y)
-		recAdd(rec, "heading", t, lat.Psi)
-		recAdd(rec, "curvature", t, curv)
-	}); err != nil {
-		return nil, err
-	}
-
-	var lastCmds uint64
-	if _, err := q.NewTicker(1, 1, func(now simtime.Time) {
-		t := float64(now)
-		cmds := eng.Stats().ControlCommands
-		recAdd(rec, "throughput", t, float64(cmds-lastCmds))
-		lastCmds = cmds
-		recAdd(rec, "miss_ratio", t, miss.Ratio(int(t)-1))
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := eng.Start(); err != nil {
-		return nil, err
-	}
-	if coord != nil {
-		if err := coord.Start(); err != nil {
-			return nil, err
-		}
-	}
-	if err := q.RunUntil(simtime.Time(cfg.Duration)); err != nil {
-		return nil, err
-	}
-
 	res := &LaneKeepingResult{
 		Scheme:      cfg.Scheme,
-		Rec:         rec,
-		Miss:        miss,
-		EngineStats: eng.Stats(),
+		Rec:         out.Rec,
+		Miss:        out.Miss,
+		EngineStats: out.EngineStats,
+		Overhead:    out.Overhead,
 	}
-	off := rec.Series("offset")
+	off := out.Rec.Series("offset")
 	res.OffsetRMS = off.RMS(0, cfg.Duration)
 	res.OffsetMax = off.MaxAbs(0, cfg.Duration)
-	res.Throughput = float64(eng.Stats().ControlCommands) / cfg.Duration
-	if coord != nil {
-		res.Overhead = coord.Overhead()
-	}
+	res.Throughput = float64(out.EngineStats.ControlCommands) / cfg.Duration
 	return res, nil
 }

@@ -4,15 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
-	"hcperf/internal/core"
-	"hcperf/internal/dag"
 	"hcperf/internal/engine"
-	"hcperf/internal/exectime"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
-	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
 	"hcperf/internal/trace"
 	"hcperf/internal/vehicle"
@@ -55,6 +50,12 @@ type MotivationConfig struct {
 	MaxObstacles int
 	// VehicleStep is the dynamics integration step (default 10 ms).
 	VehicleStep float64
+	// SampleRate is the summary-series sample frequency in Hz
+	// (default 1).
+	SampleRate float64
+	// MaxDataAge overrides the input-age validity bound: 0 = default
+	// (DefaultMaxDataAge, 220 ms), negative = disabled.
+	MaxDataAge simtime.Duration
 	// Tracer optionally receives the engine's structured lifecycle
 	// event stream (per-job timelines).
 	Tracer lifecycle.Tracer
@@ -100,6 +101,35 @@ func (c *MotivationConfig) applyDefaults() error {
 	return nil
 }
 
+// loop maps the config onto the shared closed-loop kernel. Obstacle count
+// ramps from quiet-road to crowded intersection as car A approaches the
+// light.
+func (c *MotivationConfig) loop() loopConfig {
+	return loopConfig{
+		Graph:       GraphMotivation,
+		Scheme:      c.Scheme,
+		Seed:        c.Seed,
+		Duration:    c.Duration,
+		NumProcs:    c.NumProcs,
+		VehicleStep: c.VehicleStep,
+		SampleRate:  c.SampleRate,
+		MaxDataAge:  c.MaxDataAge,
+		Obstacles: func(t float64) int {
+			const rampLen = 12.0
+			switch {
+			case t < c.BrakeStart:
+				return 8
+			case t < c.BrakeStart+rampLen:
+				frac := (t - c.BrakeStart) / rampLen
+				return 8 + int(frac*float64(c.MaxObstacles-8))
+			default:
+				return c.MaxObstacles
+			}
+		},
+		Tracer: c.Tracer,
+	}
+}
+
 // MotivationResult aggregates the motivation-experiment outcomes.
 type MotivationResult struct {
 	// Scheme is the scheme that produced this result.
@@ -119,31 +149,37 @@ type MotivationResult struct {
 	EngineStats engine.Stats
 }
 
-// RunMotivation executes the red-light scenario on the Fig. 2 task graph.
-func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
-	if err := cfg.applyDefaults(); err != nil {
-		return nil, err
-	}
-	graph, err := dag.MotivationGraph()
-	if err != nil {
-		return nil, err
-	}
-	scheduler, dyn, err := buildScheduler(cfg.Scheme)
-	if err != nil {
-		return nil, err
-	}
+// motivationPlant is the red-light world: car B brakes to a stop while
+// car A's drive-by-wire watchdog coasts whenever the pipeline stalls.
+type motivationPlant struct {
+	cfg   *MotivationConfig
+	rec   *trace.Recorder
+	gains vehicle.CarFollower
 
-	q := simtime.NewEventQueue()
-	rec := trace.NewRecorder()
+	follower *vehicle.Longitudinal
+	lead     *vehicle.Lead
 
+	histLeadSpeed, histLeadPos, histFolPos, histFolSpeed trace.Series
+
+	collide   metrics.CollisionDetector
+	minGap    float64
+	lastCmdAt float64
+}
+
+func newMotivationPlant(cfg *MotivationConfig, rec *trace.Recorder) (*motivationPlant, error) {
 	const initSpeed = 10.0
-	gains := vehicle.CarFollower{Kv: 5, Kg: 1, StandstillGap: 5, Headway: 1.2}
+	p := &motivationPlant{
+		cfg:    cfg,
+		rec:    rec,
+		gains:  vehicle.CarFollower{Kv: 5, Kg: 1, StandstillGap: 5, Headway: 1.2},
+		minGap: math.Inf(1),
+	}
 	long := vehicle.LongitudinalConfig{MaxAccel: 6, MaxBrake: 8, ActuatorTau: 0.1, MaxSpeed: 40}
-	follower, err := vehicle.NewLongitudinal(long)
-	if err != nil {
+	var err error
+	if p.follower, err = vehicle.NewLongitudinal(long); err != nil {
 		return nil, err
 	}
-	follower.Speed = initSpeed
+	p.follower.Speed = initSpeed
 
 	// Car B: constant 10 m/s, then brakes to a stop from BrakeStart.
 	stopAt := cfg.BrakeStart + initSpeed/cfg.BrakeDecel
@@ -155,163 +191,103 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	lead, err := vehicle.NewLead(leadProfile, gains.StandstillGap+gains.Headway*initSpeed)
-	if err != nil {
+	if p.lead, err = vehicle.NewLead(leadProfile, p.gains.StandstillGap+p.gains.Headway*initSpeed); err != nil {
 		return nil, err
 	}
-
-	// Obstacle count ramps from quiet-road to crowded intersection as
-	// car A approaches the light.
-	obstacles := func(t float64) int {
-		const rampLen = 12.0
-		switch {
-		case t < cfg.BrakeStart:
-			return 8
-		case t < cfg.BrakeStart+rampLen:
-			frac := (t - cfg.BrakeStart) / rampLen
-			return 8 + int(frac*float64(cfg.MaxObstacles-8))
-		default:
-			return cfg.MaxObstacles
-		}
-	}
-
-	var histLeadSpeed, histLeadPos, histFolPos, histFolSpeed trace.Series
-	recordHistory := func(now float64) error {
-		if err := histLeadSpeed.Add(now, lead.Speed()); err != nil {
-			return err
-		}
-		if err := histLeadPos.Add(now, lead.Position); err != nil {
-			return err
-		}
-		if err := histFolSpeed.Add(now, follower.Speed); err != nil {
-			return err
-		}
-		return histFolPos.Add(now, follower.Position)
-	}
-	if err := recordHistory(0); err != nil {
+	if err := p.recordHistory(0); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
 
-	miss, err := metrics.NewMissBuckets(1)
-	if err != nil {
+func (p *motivationPlant) recordHistory(now float64) error {
+	if err := p.histLeadSpeed.Add(now, p.lead.Speed()); err != nil {
+		return err
+	}
+	if err := p.histLeadPos.Add(now, p.lead.Position); err != nil {
+		return err
+	}
+	if err := p.histFolSpeed.Add(now, p.follower.Speed); err != nil {
+		return err
+	}
+	return p.histFolPos.Add(now, p.follower.Position)
+}
+
+func (p *motivationPlant) Perceive(cmd engine.ControlCommand) {
+	at := float64(cmd.SourceTime)
+	leadSpd, ok := p.histLeadSpeed.At(at)
+	if !ok {
+		return
+	}
+	leadPos, _ := p.histLeadPos.At(at)
+	folPos, _ := p.histFolPos.At(at)
+	folSpd, _ := p.histFolSpeed.At(at)
+	p.follower.SetAccelCommand(p.gains.Accel(folSpd, leadSpd, leadPos-folPos))
+	p.lastCmdAt = float64(cmd.Completed)
+}
+
+func (p *motivationPlant) TrackingError(simtime.Time) float64 {
+	return math.Abs(p.lead.Speed() - p.follower.Speed)
+}
+
+// CoordSample records nothing: the motivation run reports the Fig. 4
+// panels only.
+func (p *motivationPlant) CoordSample(simtime.Time, float64, float64, float64) {}
+
+func (p *motivationPlant) Step(now float64) {
+	step := p.cfg.VehicleStep
+	if err := p.lead.Step(step); err != nil {
+		panic(fmt.Sprintf("scenario: lead step: %v", err))
+	}
+	if err := p.follower.Step(step); err != nil {
+		panic(fmt.Sprintf("scenario: follower step: %v", err))
+	}
+	// Drive-by-wire watchdog: without a fresh control command the
+	// actuators release to neutral and the car coasts — exactly how
+	// a stalled pipeline turns into the paper's collision.
+	if now-p.lastCmdAt > 0.5 {
+		p.follower.SetAccelCommand(0)
+	}
+	if err := p.recordHistory(now); err != nil {
+		panic(fmt.Sprintf("scenario: history: %v", err))
+	}
+	gap := p.lead.Position - p.follower.Position
+	if gap < p.minGap {
+		p.minGap = gap
+	}
+	p.collide.Note(now, gap)
+	recAdd(p.rec, "lead_speed", now, p.lead.Speed())
+	recAdd(p.rec, "follow_speed", now, p.follower.Speed)
+	recAdd(p.rec, "speed_diff", now, p.follower.Speed-p.lead.Speed())
+	recAdd(p.rec, "gap", now, gap)
+}
+
+func (p *motivationPlant) Sample(t float64, env *Env) {
+	recAdd(p.rec, "miss_ratio", t, env.Miss.Ratio(int(t)-1))
+}
+
+// RunMotivation executes the red-light scenario on the Fig. 2 task graph.
+func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	var collide metrics.CollisionDetector
-
-	// The RNG is reserved for future noise hooks; motivation runs are
-	// deterministic beyond execution-time sampling inside the engine.
-	_ = rand.New(rand.NewSource(cfg.Seed))
-
-	lastCmdAt := 0.0
-	perceive := func(cmd engine.ControlCommand) {
-		at := float64(cmd.SourceTime)
-		leadSpd, ok := histLeadSpeed.At(at)
-		if !ok {
-			return
-		}
-		leadPos, _ := histLeadPos.At(at)
-		folPos, _ := histFolPos.At(at)
-		folSpd, _ := histFolSpeed.At(at)
-		follower.SetAccelCommand(gains.Accel(folSpd, leadSpd, leadPos-folPos))
-		lastCmdAt = float64(cmd.Completed)
-	}
-
-	eng, err := engine.New(engine.Config{
-		Graph:      graph,
-		Scheduler:  scheduler,
-		NumProcs:   cfg.NumProcs,
-		Queue:      q,
-		Seed:       cfg.Seed,
-		MaxDataAge: 220 * simtime.Millisecond,
-		Tracer:     cfg.Tracer,
-		Scene: func(now simtime.Time) exectime.Scene {
-			return exectime.Scene{Obstacles: obstacles(float64(now)), LoadFactor: 1}
-		},
-		OnControl: func(cmd engine.ControlCommand) { perceive(cmd) },
-		OnJobDecided: func(now simtime.Time, _ *sched.Job, missed bool) {
-			t := math.Min(float64(now), cfg.Duration-1e-9)
-			if err := miss.Note(t, missed); err != nil {
-				panic(fmt.Sprintf("scenario: miss bucket: %v", err))
-			}
-		},
+	var p *motivationPlant
+	out, err := runLoop(cfg.loop(), func(rec *trace.Recorder) (Plant, error) {
+		var err error
+		p, err = newMotivationPlant(&cfg, rec)
+		return p, err
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	var coord *core.Coordinator
-	if cfg.Scheme.IsHCPerf() {
-		coord, err = core.New(core.Config{
-			Engine:  eng,
-			Queue:   q,
-			Dynamic: dyn,
-			TrackingError: func(simtime.Time) float64 {
-				return math.Abs(lead.Speed() - follower.Speed)
-			},
-			DisableExternal: cfg.Scheme == SchemeHCPerfInternal,
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	minGap := math.Inf(1)
-	if _, err := q.NewTicker(simtime.Time(cfg.VehicleStep), simtime.Duration(cfg.VehicleStep), func(now simtime.Time) {
-		if err := lead.Step(cfg.VehicleStep); err != nil {
-			panic(fmt.Sprintf("scenario: lead step: %v", err))
-		}
-		if err := follower.Step(cfg.VehicleStep); err != nil {
-			panic(fmt.Sprintf("scenario: follower step: %v", err))
-		}
-		t := float64(now)
-		// Drive-by-wire watchdog: without a fresh control command the
-		// actuators release to neutral and the car coasts — exactly how
-		// a stalled pipeline turns into the paper's collision.
-		if t-lastCmdAt > 0.5 {
-			follower.SetAccelCommand(0)
-		}
-		if err := recordHistory(t); err != nil {
-			panic(fmt.Sprintf("scenario: history: %v", err))
-		}
-		gap := lead.Position - follower.Position
-		if gap < minGap {
-			minGap = gap
-		}
-		collide.Note(t, gap)
-		recAdd(rec, "lead_speed", t, lead.Speed())
-		recAdd(rec, "follow_speed", t, follower.Speed)
-		recAdd(rec, "speed_diff", t, follower.Speed-lead.Speed())
-		recAdd(rec, "gap", t, gap)
-	}); err != nil {
-		return nil, err
-	}
-
-	if _, err := q.NewTicker(1, 1, func(now simtime.Time) {
-		t := float64(now)
-		recAdd(rec, "miss_ratio", t, miss.Ratio(int(t)-1))
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := eng.Start(); err != nil {
-		return nil, err
-	}
-	if coord != nil {
-		if err := coord.Start(); err != nil {
-			return nil, err
-		}
-	}
-	if err := q.RunUntil(simtime.Time(cfg.Duration)); err != nil {
-		return nil, err
-	}
-
 	return &MotivationResult{
 		Scheme:      cfg.Scheme,
-		Rec:         rec,
-		Miss:        miss,
-		Collision:   collide.Collided(),
-		CollisionAt: collide.At(),
-		MinGap:      minGap,
-		EngineStats: eng.Stats(),
+		Rec:         out.Rec,
+		Miss:        out.Miss,
+		Collision:   p.collide.Collided(),
+		CollisionAt: p.collide.At(),
+		MinGap:      p.minGap,
+		EngineStats: out.EngineStats,
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"hcperf/internal/experiment"
@@ -11,18 +12,24 @@ import (
 	"hcperf/internal/scenario"
 )
 
-// RunRequest is the body of POST /v1/runs: either a registered experiment
-// (the paper's tables and figures) or a single scenario run under one
-// scheduling scheme. Requests are canonicalized and content-addressed —
-// the run ID is a digest over the normalized fields, so identical requests
-// share one execution and one cached result.
+// RunRequest is the body of POST /v1/runs: a registered experiment (the
+// paper's tables and figures), a single scenario run under one scheduling
+// scheme, or an inline declarative scenario spec. Requests are
+// canonicalized and content-addressed — the run ID is a digest over the
+// normalized fields, so identical requests share one execution and one
+// cached result.
 type RunRequest struct {
 	// Experiment is a registry ID (see GET /v1/experiments), e.g.
-	// "fig13". Mutually exclusive with Scenario.
+	// "fig13". Mutually exclusive with Scenario and Spec.
 	Experiment string `json:"experiment,omitempty"`
-	// Scenario is a driving scenario: carfollow | lanekeep | motivation
-	// | hardware | jam | combined.
+	// Scenario is a driving scenario: aeb | carfollow | combined |
+	// hardware | jam | lanekeep | motivation.
 	Scenario string `json:"scenario,omitempty"`
+	// Spec is an inline declarative scenario spec (scenario.Spec): full
+	// control over graph loads, rate overrides, obstacle profiles and
+	// coordinator knobs. Mutually exclusive with Experiment and
+	// Scenario; Scheme, Seed and Duration then live inside the spec.
+	Spec *scenario.Spec `json:"spec,omitempty"`
 	// Scheme selects the scheduling scheme for scenario runs (default
 	// "hcperf"): hpf | edf | edfvd | apollo | hcperf | hcperf-internal.
 	Scheme string `json:"scheme,omitempty"`
@@ -31,23 +38,47 @@ type RunRequest struct {
 	// Duration overrides the scenario duration in seconds (0 = scenario
 	// default). Ignored for experiment runs.
 	Duration float64 `json:"duration,omitempty"`
-	// Trace captures per-job lifecycle events during scenario runs,
-	// served by GET /v1/runs/{id}/trace. Ignored for experiment runs.
+	// Trace captures per-job lifecycle events during scenario and spec
+	// runs, served by GET /v1/runs/{id}/trace. Ignored for experiment
+	// runs.
 	Trace bool `json:"trace,omitempty"`
 }
 
-// scenarioNames is the closed set of scenario run kinds.
-var scenarioNames = map[string]bool{
-	"carfollow": true, "lanekeep": true, "motivation": true,
-	"hardware": true, "jam": true, "combined": true,
-}
+// scenarioNames is the closed set of scenario run kinds, shared with the
+// scenario package's spec layer.
+var scenarioNames = func() map[string]bool {
+	out := make(map[string]bool)
+	for _, name := range scenario.ScenarioNames() {
+		out[name] = true
+	}
+	return out
+}()
 
 // Normalize validates the request and fills defaults so that every
 // equivalent request maps to the same canonical form (and therefore the
 // same digest).
 func (r RunRequest) Normalize() (RunRequest, error) {
-	if (r.Experiment == "") == (r.Scenario == "") {
-		return r, fmt.Errorf("exactly one of experiment or scenario must be set")
+	set := 0
+	for _, on := range []bool{r.Experiment != "", r.Scenario != "", r.Spec != nil} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return r, fmt.Errorf("exactly one of experiment, scenario or spec must be set")
+	}
+	if r.Spec != nil {
+		// Scheme, seed and duration live inside the spec; zero the
+		// request-level copies so they cannot split the cache.
+		if r.Scheme != "" || r.Seed != 0 || r.Duration != 0 {
+			return r, fmt.Errorf("spec runs take scheme, seed and duration inside the spec")
+		}
+		spec, err := r.Spec.Normalize()
+		if err != nil {
+			return r, err
+		}
+		r.Spec = &spec
+		return r, nil
 	}
 	if r.Seed == 0 {
 		r.Seed = 1
@@ -78,23 +109,38 @@ func (r RunRequest) Normalize() (RunRequest, error) {
 
 // Digest returns the content address of a normalized request: a SHA-256
 // over every canonical field with explicit separators, so distinct
-// requests cannot alias. Two submissions with equal digests are the same
-// run — determinism of the underlying simulations (enforced by the
+// requests cannot alias. Inline specs contribute their canonical JSON
+// encoding (Normalize makes it a fixed point, and encoding/json sorts map
+// keys). Two submissions with equal digests are the same run —
+// determinism of the underlying simulations (enforced by the
 // internal/runner harness) makes serving the cached Report correct.
 func (r RunRequest) Digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "exp=%s;scn=%s;scheme=%s;seed=%d;dur=%g;trace=%t",
 		r.Experiment, r.Scenario, r.Scheme, r.Seed, r.Duration, r.Trace)
+	if r.Spec != nil {
+		// Marshal of a validated spec cannot fail: every field is a
+		// plain value and Normalize rejected non-finite numbers.
+		b, err := json.Marshal(r.Spec)
+		if err != nil {
+			panic(fmt.Sprintf("service: marshal normalized spec: %v", err))
+		}
+		fmt.Fprintf(h, ";spec=%s", b)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Kind labels the request for metrics: the experiment ID or the scenario
-// name.
+// Kind labels the request for metrics: the experiment ID, the scenario
+// name, or "spec:<scenario>" for inline specs.
 func (r RunRequest) Kind() string {
-	if r.Experiment != "" {
+	switch {
+	case r.Experiment != "":
 		return r.Experiment
+	case r.Spec != nil:
+		return "spec:" + r.Spec.Scenario
+	default:
+		return r.Scenario
 	}
-	return r.Scenario
 }
 
 // RunResult is a completed run: the rendered report plus, for traced
@@ -109,8 +155,9 @@ type RunResult struct {
 type RunFunc func(ctx context.Context, req RunRequest) (*RunResult, error)
 
 // Execute runs a normalized request for real: registry experiments go
-// through experiment.Run, scenario requests through the scenario package
-// (capturing lifecycle events into a bounded ring when Trace is set).
+// through experiment.Run, scenario and spec requests through the scenario
+// package's spec runner (capturing lifecycle events into a bounded ring
+// when Trace is set).
 func Execute(_ context.Context, req RunRequest) (*RunResult, error) {
 	if req.Experiment != "" {
 		rep, err := experiment.Run(req.Experiment, req.Seed)

@@ -6,7 +6,6 @@ import (
 	"hcperf/internal/experiment"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/scenario"
-	"hcperf/internal/trace"
 )
 
 // traceCapacity bounds the per-run lifecycle event buffer. At the 23-task
@@ -15,121 +14,51 @@ import (
 // without bound while a request is in flight.
 const traceCapacity = 1 << 20
 
-// runScenario executes one scenario request and renders its key metrics as
-// a Report, so experiment and scenario runs share one result shape (and
-// one cache) end to end.
+// runScenario executes one scenario or inline-spec request through the
+// scenario package's declarative spec runner and renders its key metrics
+// as a Report, so experiment, scenario and spec runs share one result
+// shape (and one cache) end to end.
 func runScenario(req RunRequest) (*RunResult, error) {
-	scheme, err := scenario.ParseScheme(req.Scheme)
-	if err != nil {
-		return nil, err
+	var spec scenario.Spec
+	var id string
+	if req.Spec != nil {
+		spec = *req.Spec
+		id = "spec-" + spec.Scenario
+		if spec.Name != "" {
+			id = "spec-" + spec.Name
+		}
+	} else {
+		spec = scenario.Spec{
+			Scenario: req.Scenario,
+			Scheme:   req.Scheme,
+			Seed:     req.Seed,
+			Duration: req.Duration,
+		}
+		id = "run-" + req.Scenario
 	}
+
 	var ring *lifecycle.Ring
 	var tracer lifecycle.Tracer
 	if req.Trace {
+		var err error
 		if ring, err = lifecycle.NewRing(traceCapacity); err != nil {
 			return nil, err
 		}
 		tracer = ring
 	}
 
-	id := "run-" + req.Scenario
-	title := fmt.Sprintf("%s under %v (seed %d)", req.Scenario, scheme, req.Seed)
-	var rows [][]string
-	var rec *trace.Recorder
-
-	switch req.Scenario {
-	case "carfollow", "hardware", "jam":
-		cfg := scenario.CarFollowingConfig{Scheme: scheme, Seed: req.Seed}
-		switch req.Scenario {
-		case "hardware":
-			if cfg, err = scenario.HardwareCarFollowingConfig(scheme, req.Seed); err != nil {
-				return nil, err
-			}
-		case "jam":
-			if cfg, err = scenario.JamCarFollowingConfig(scheme, req.Seed); err != nil {
-				return nil, err
-			}
-		}
-		if req.Duration > 0 {
-			cfg.Duration = req.Duration
-		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunCarFollowing(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rec = r.Rec
-		rows = [][]string{
-			{"speed RMS (m/s)", fmt.Sprintf("%.4f", r.SpeedErrRMS)},
-			{"distance RMS (m)", fmt.Sprintf("%.4f", r.DistErrRMS)},
-			{"miss ratio", fmt.Sprintf("%.4f", r.Miss.MeanRatio())},
-			{"commands/s", fmt.Sprintf("%.1f", r.Throughput)},
-			{"mean response (ms)", fmt.Sprintf("%.1f", r.MeanResponse*1000)},
-			{"collision", fmt.Sprintf("%t", r.Collision)},
-		}
-	case "lanekeep":
-		cfg := scenario.LaneKeepingConfig{Scheme: scheme, Seed: req.Seed}
-		if req.Duration > 0 {
-			cfg.Duration = req.Duration
-		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunLaneKeeping(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rec = r.Rec
-		rows = [][]string{
-			{"offset RMS (m)", fmt.Sprintf("%.4f", r.OffsetRMS)},
-			{"offset max (m)", fmt.Sprintf("%.4f", r.OffsetMax)},
-			{"miss ratio", fmt.Sprintf("%.4f", r.Miss.MeanRatio())},
-			{"commands/s", fmt.Sprintf("%.1f", r.Throughput)},
-		}
-	case "motivation":
-		cfg := scenario.MotivationConfig{Scheme: scheme, Seed: req.Seed}
-		if req.Duration > 0 {
-			cfg.Duration = req.Duration
-		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunMotivation(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rec = r.Rec
-		rows = [][]string{
-			{"collision", fmt.Sprintf("%t", r.Collision)},
-			{"collision time (s)", fmt.Sprintf("%.1f", r.CollisionAt)},
-			{"min gap (m)", fmt.Sprintf("%.2f", r.MinGap)},
-			{"miss ratio", fmt.Sprintf("%.4f", r.Miss.MeanRatio())},
-		}
-	case "combined":
-		cfg := scenario.CombinedConfig{Scheme: scheme, Seed: req.Seed}
-		if req.Duration > 0 {
-			cfg.Duration = req.Duration
-		}
-		cfg.Tracer = tracer
-		r, err := scenario.RunCombined(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rec = r.Rec
-		rows = [][]string{
-			{"speed RMS (m/s)", fmt.Sprintf("%.4f", r.SpeedErrRMS)},
-			{"offset RMS (m)", fmt.Sprintf("%.4f", r.OffsetRMS)},
-			{"lon commands", fmt.Sprintf("%d", r.LonCommands)},
-			{"lat commands", fmt.Sprintf("%d", r.LatCommands)},
-			{"miss ratio", fmt.Sprintf("%.4f", r.Miss.MeanRatio())},
-		}
-	default:
-		return nil, fmt.Errorf("unknown scenario %q", req.Scenario)
+	r, err := scenario.RunSpec(spec, tracer)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &RunResult{
 		Report: &experiment.Report{
 			ID:     id,
-			Title:  title,
+			Title:  r.Title,
 			Header: []string{"quantity", "value"},
-			Rows:   rows,
-			Series: rec,
+			Rows:   r.Rows,
+			Series: r.Rec,
 		},
 	}
 	if ring != nil {

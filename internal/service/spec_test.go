@@ -1,0 +1,90 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSpecRunEndToEnd drives an inline declarative spec through the real
+// Execute path: submit, poll, verify the report, then prove the
+// content-addressed cache treats an equivalent spelling of the same spec
+// as a hit.
+func TestSpecRunEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2, QueueSize: 8})
+
+	body := `{"spec": {
+		"name": "fusion-overload",
+		"scenario": "carfollow",
+		"scheme": "edf",
+		"duration": 2,
+		"loads": [{"task": "sensor_fusion", "from": 0.5, "to": 1.5, "factor": 2.0}]
+	}}`
+	code, st, _ := postRun(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("spec POST = %d, want 202", code)
+	}
+	job, _ := srv.Manager().Job(st.ID)
+	<-job.Done()
+
+	var got runStatus
+	getJSON(t, ts.URL+"/v1/runs/"+st.ID, &got)
+	if got.State != StateDone || got.Report == nil || len(got.Report.Rows) == 0 {
+		t.Fatalf("spec run status = %+v, want done report", got)
+	}
+	if got.Report.ID != "spec-fusion-overload" {
+		t.Errorf("report ID = %q, want spec-fusion-overload", got.Report.ID)
+	}
+
+	// Identical resubmission: cache hit.
+	code, st2, _ := postRun(t, ts, body)
+	if code != http.StatusOK || !st2.Cached || st2.ID != st.ID {
+		t.Fatalf("resubmit = (%d, cached=%t, id=%s), want 200 cached %s", code, st2.Cached, st2.ID, st.ID)
+	}
+
+	// An equivalent spelling — defaults written out explicitly — must
+	// normalize to the same digest and hit the same cache entry.
+	explicit := `{"spec": {
+		"name": "fusion-overload",
+		"scenario": "carfollow",
+		"graph": "ad23",
+		"scheme": "edf",
+		"seed": 1,
+		"duration": 2,
+		"loads": [{"task": "sensor_fusion", "from": 0.5, "to": 1.5, "factor": 2.0}]
+	}}`
+	code, st3, _ := postRun(t, ts, explicit)
+	if code != http.StatusOK || !st3.Cached || st3.ID != st.ID {
+		t.Fatalf("equivalent spec = (%d, cached=%t, id=%s), want 200 cached %s", code, st3.Cached, st3.ID, st.ID)
+	}
+}
+
+// TestSpecRequestValidation exercises every rejection path for inline
+// specs: each must return 400 with the uniform JSON error body.
+func TestSpecRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+
+	for name, body := range map[string]string{
+		"spec plus scenario":     `{"scenario": "carfollow", "spec": {"scenario": "carfollow"}}`,
+		"request-level scheme":   `{"spec": {"scenario": "carfollow"}, "scheme": "edf"}`,
+		"request-level duration": `{"spec": {"scenario": "carfollow"}, "duration": 5}`,
+		"unknown scenario":       `{"spec": {"scenario": "bogus"}}`,
+		"unknown graph":          `{"spec": {"scenario": "carfollow", "graph": "bogus"}}`,
+		"unknown load task":      `{"spec": {"scenario": "carfollow", "loads": [{"task": "bogus", "from": 0, "to": 1, "factor": 2}]}}`,
+		"out-of-range rate":      `{"spec": {"scenario": "carfollow", "rate_overrides": {"camera_front": 1e9}}}`,
+		"negative duration":      `{"spec": {"scenario": "carfollow", "duration": -1}}`,
+		"unsupported capability": `{"spec": {"scenario": "motivation", "gamma_cap": 2}}`,
+		"unknown spec field":     `{"spec": {"scenario": "carfollow", "bogus": 1}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", resp.StatusCode)
+			}
+			assertJSONError(t, resp)
+		})
+	}
+}
