@@ -10,7 +10,15 @@ RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
              ./internal/engine/... ./internal/scenario/... ./internal/rt/... \
              ./internal/lifecycle/... ./internal/service/...
 
-.PHONY: ci vet build test race bench fuzz suite trace-demo serve
+.PHONY: ci vet build test race bench bench-json bench-check bench-update fuzz suite trace-demo serve
+
+# Benchtime for the perf-baseline suite. A duration (not an iteration
+# count): the sub-microsecond benchmarks need >=10ms of samples for stable
+# ns/op, while allocs/op stays deterministic either way (steady-state
+# allocations are exact per op; setup allocations amortise to zero).
+BENCHTIME ?= 10ms
+# Where bench-check writes the fresh run (CI uploads it as an artifact).
+BENCH_OUT ?= bench_fresh.json
 
 ## ci: the tier-1 gate — vet, build, full test suite, then the race pass.
 ci: vet build test race
@@ -33,6 +41,24 @@ race:
 ## bench: the parallel-runner benchmarks recorded in EXPERIMENTS.md.
 bench:
 	$(GO) test -bench='Sweep(Serial|Parallel)|Suite(Serial|Parallel)' -benchtime=3x -run='^$$' .
+
+## bench-json: run the hot-path perf suite and print the machine-readable
+## baseline JSON (ns/op, allocs/op, B/op per named benchmark) to stdout.
+bench-json:
+	$(GO) run ./cmd/hcperf-bench -json -benchtime $(BENCHTIME)
+
+## bench-check: run the perf suite and diff it against the checked-in
+## BENCH_baseline.json; non-zero exit on regression (>25% allocs/op or
+## >40% ns/op by default). The fresh run is written to $(BENCH_OUT).
+bench-check:
+	$(GO) run ./cmd/hcperf-bench -check BENCH_baseline.json -benchtime $(BENCHTIME) -out $(BENCH_OUT)
+
+## bench-update: regenerate BENCH_baseline.json. Refuses to run with a
+## dirty working tree so the new baseline can only reflect committed code.
+bench-update:
+	@test -z "$$(git status --porcelain)" || \
+		{ echo "bench-update: working tree dirty; commit or stash first" >&2; exit 1; }
+	$(GO) run ./cmd/hcperf-bench -json -benchtime $(BENCHTIME) -out BENCH_baseline.json
 
 ## fuzz: short fuzz passes — Hungarian solver vs brute force, and the
 ## scenario-spec JSON decode/validate/re-encode round trip.

@@ -237,6 +237,7 @@ func BenchmarkDynamicSelect(b *testing.B) {
 			dyn.SetNominalU(0.01)
 			st := &sched.ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
 			dyn.Recompute(0, jobs, st)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if idx := dyn.Select(0, jobs, 0, st); idx < 0 {
@@ -256,6 +257,7 @@ func BenchmarkGammaSearch(b *testing.B) {
 			dyn := sched.NewDynamic(0.02)
 			dyn.SetNominalU(0.01)
 			st := &sched.ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dyn.Recompute(0, jobs, st)
@@ -270,6 +272,7 @@ func BenchmarkMFCStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Step(simtime.Time(i)*100*simtime.Millisecond, 1.5); err != nil {
@@ -291,9 +294,38 @@ func BenchmarkHungarianFusion(b *testing.B) {
 					cost[i][j] = rng.Float64()
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := hungarian.Solve(cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHungarianSolverReuse measures the same matching through a
+// reused hungarian.Solver: the workspace persists across calls, so steady
+// state allocates nothing. Comparing against BenchmarkHungarianFusion
+// (which uses the one-shot package Solve) shows exactly what workspace
+// reuse buys on the fusion hot path.
+func BenchmarkHungarianSolverReuse(b *testing.B) {
+	for _, n := range []int{10, 23, 42} {
+		b.Run("obstacles="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			cost := make([][]float64, n)
+			for i := range cost {
+				cost[i] = make([]float64, n)
+				for j := range cost[i] {
+					cost[i][j] = rng.Float64()
+				}
+			}
+			var s hungarian.Solver
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Solve(cost); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -311,6 +343,7 @@ func BenchmarkEngineSecond(b *testing.B) {
 	}
 	for name, mk := range policies {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g, err := dag.ADGraph23()
 				if err != nil {

@@ -83,9 +83,18 @@ type Engine struct {
 	q *simtime.EventQueue
 	b *bus.Bus
 
-	procs   []processor
-	tickers map[dag.TaskID]*simtime.Ticker
+	procs []processor
+	// tickers is indexed by task ID (task IDs are dense); nil entries are
+	// tasks that are not started sources. A dense slice instead of a map
+	// keeps every iteration (Stop, SourceRates, ScaleSourceRates) in task
+	// order — deterministic by construction — and avoids map overhead on
+	// the rate-adaptation path.
+	tickers []*simtime.Ticker
 	started bool
+	// procState is the reusable processor-pool snapshot handed to
+	// scheduling decisions; see lifecycle.Backend.ProcState for the
+	// non-retention contract that makes the reuse safe.
+	procState sched.ProcState
 }
 
 // backend adapts the Engine onto lifecycle.Backend: capture latencies are
@@ -106,17 +115,18 @@ func (b backend) DeliverAfter(now simtime.Time, d simtime.Duration, fn func(at s
 // Wake implements lifecycle.Backend.
 func (b backend) Wake(now simtime.Time) { b.e.dispatch(now) }
 
-// ProcState implements lifecycle.Backend.
+// ProcState implements lifecycle.Backend. The snapshot is reused across
+// scheduling decisions — dispatch runs at every queue change — so it is
+// filled in place rather than allocated per call.
 func (b backend) ProcState(now simtime.Time) *sched.ProcState {
 	e := b.e
-	st := &sched.ProcState{
-		NumProcs:  len(e.procs),
-		Remaining: make([]simtime.Duration, len(e.procs)),
-	}
+	st := &e.procState
 	for i := range e.procs {
+		var r simtime.Duration
 		if e.procs[i].busyUntil > now {
-			st.Remaining[i] = e.procs[i].busyUntil - now
+			r = e.procs[i].busyUntil - now
 		}
+		st.Remaining[i] = r
 	}
 	return st
 }
@@ -131,10 +141,16 @@ func New(cfg Config) (*Engine, error) {
 		return nil, errors.New("engine: nil event queue")
 	}
 	e := &Engine{
-		q:       cfg.Queue,
-		b:       cfg.Bus,
-		procs:   make([]processor, cfg.NumProcs),
-		tickers: make(map[dag.TaskID]*simtime.Ticker),
+		q:     cfg.Queue,
+		b:     cfg.Bus,
+		procs: make([]processor, cfg.NumProcs),
+		procState: sched.ProcState{
+			NumProcs:  cfg.NumProcs,
+			Remaining: make([]simtime.Duration, cfg.NumProcs),
+		},
+	}
+	if cfg.Graph != nil {
+		e.tickers = make([]*simtime.Ticker, cfg.Graph.Len())
 	}
 	onControl := cfg.OnControl
 	if cfg.Bus != nil {
@@ -196,7 +212,9 @@ func (e *Engine) Start() error {
 // Stop cancels all future source releases. Running jobs finish normally.
 func (e *Engine) Stop() {
 	for _, tk := range e.tickers {
-		tk.Stop()
+		if tk != nil {
+			tk.Stop()
+		}
 	}
 }
 
@@ -207,8 +225,11 @@ func (e *Engine) SetSourceRate(id dag.TaskID, hz float64) (float64, error) {
 	if t == nil {
 		return 0, fmt.Errorf("engine: unknown task %d", id)
 	}
-	tk, ok := e.tickers[id]
-	if !ok {
+	var tk *simtime.Ticker
+	if int(id) < len(e.tickers) {
+		tk = e.tickers[id]
+	}
+	if tk == nil {
 		return 0, fmt.Errorf("engine: task %q is not a started source", t.Name)
 	}
 	hz, err := e.k.SetRate(id, hz)
@@ -226,21 +247,28 @@ func (e *Engine) SourceRate(id dag.TaskID) float64 { return e.k.Rate(id) }
 
 // SourceRates returns the current rates of all source tasks keyed by ID.
 func (e *Engine) SourceRates() map[dag.TaskID]float64 {
-	out := make(map[dag.TaskID]float64, len(e.tickers))
-	for id := range e.tickers {
-		out[id] = e.k.Rate(id)
+	out := make(map[dag.TaskID]float64)
+	for id, tk := range e.tickers {
+		if tk != nil {
+			out[dag.TaskID(id)] = e.k.Rate(dag.TaskID(id))
+		}
 	}
 	return out
 }
 
 // ScaleSourceRates multiplies every source rate by factor (clamped to each
 // task's range), implementing the Task Rate Adapter's joint adjustment.
+// Sources are retuned in task-ID order, so the adjustment is deterministic.
 func (e *Engine) ScaleSourceRates(factor float64) error {
 	if factor <= 0 {
 		return fmt.Errorf("engine: non-positive rate factor %v", factor)
 	}
-	for id := range e.tickers {
-		if _, err := e.SetSourceRate(id, e.k.Rate(id)*factor); err != nil {
+	for id, tk := range e.tickers {
+		if tk == nil {
+			continue
+		}
+		tid := dag.TaskID(id)
+		if _, err := e.SetSourceRate(tid, e.k.Rate(tid)*factor); err != nil {
 			return err
 		}
 	}

@@ -29,6 +29,9 @@ type Backend interface {
 	// work, so idle processors should re-run dispatch.
 	Wake(now simtime.Time)
 	// ProcState snapshots the processor pool for a scheduling decision.
+	// The snapshot is only valid for the duration of that decision:
+	// backends may reuse the same ProcState across calls, so consumers
+	// (schedulers, observers) must not retain it.
 	ProcState(now simtime.Time) *sched.ProcState
 }
 

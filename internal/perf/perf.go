@@ -1,0 +1,265 @@
+// Package perf defines the machine-readable performance baseline for the
+// framework's hot paths and the comparator the CI benchmark gate runs.
+//
+// A Baseline is a named set of benchmark results (ns/op, allocs/op, B/op)
+// serialised as deterministic JSON; BENCH_baseline.json at the repository
+// root is the checked-in reference, regenerated via `make bench-update`.
+// Compare diffs a fresh run against the reference under per-metric relative
+// thresholds and renders a benchstat-style table, so `make bench-check`
+// (and the bench-gate CI job) can fail on regressions without any external
+// tooling.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Baseline is a set of benchmark results from one suite run. Results are
+// kept sorted by name so the JSON encoding is deterministic and diffs stay
+// readable.
+type Baseline struct {
+	// Benchtime records the -benchtime the suite ran with (e.g. "100x"),
+	// so a checked-in baseline documents its own measurement conditions.
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// Sort orders the results by name (the canonical encoding order).
+func (b *Baseline) Sort() {
+	sort.Slice(b.Results, func(i, j int) bool { return b.Results[i].Name < b.Results[j].Name })
+}
+
+// Lookup returns the result with the given name, or nil.
+func (b *Baseline) Lookup(name string) *Result {
+	for i := range b.Results {
+		if b.Results[i].Name == name {
+			return &b.Results[i]
+		}
+	}
+	return nil
+}
+
+// Write encodes the baseline as indented JSON with results sorted by name.
+func (b *Baseline) Write(w io.Writer) error {
+	b.Sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the baseline to path via Write.
+func (b *Baseline) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a baseline from JSON.
+func Read(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("perf: decoding baseline: %w", err)
+	}
+	b.Sort()
+	return &b, nil
+}
+
+// ReadFile reads a baseline from the JSON file at path.
+func ReadFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Thresholds are the maximum tolerated relative regressions per metric
+// (0.25 = new may be up to 25% worse than old). Allocations per op are
+// machine-independent, so their threshold is tight; wall-clock ns/op is
+// noisy on shared CI runners, so its threshold is deliberately loose.
+type Thresholds struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// DefaultThresholds returns the gate's thresholds: 40% on ns/op, 25% on
+// allocs/op.
+func DefaultThresholds() Thresholds {
+	return Thresholds{NsPerOp: 0.40, AllocsPerOp: 0.25}
+}
+
+// Delta is the comparison of one benchmark between two baselines.
+type Delta struct {
+	Name     string
+	Old, New Result
+	// NsDelta and AllocsDelta are relative changes: (new-old)/old.
+	// An old value of zero with a non-zero new value yields +Inf.
+	NsDelta     float64
+	AllocsDelta float64
+	// NsRegressed / AllocsRegressed report whether the metric exceeded
+	// its threshold.
+	NsRegressed     bool
+	AllocsRegressed bool
+}
+
+// Comparison is the result of diffing a fresh baseline against a reference.
+type Comparison struct {
+	Thresholds Thresholds
+	Deltas     []Delta
+	// Missing lists benchmarks present in the reference but absent from
+	// the fresh run; a gate treats these as failures (a benchmark that
+	// silently disappears is a hole in coverage, not an improvement).
+	Missing []string
+	// Added lists benchmarks present only in the fresh run; informational.
+	Added []string
+}
+
+// relDelta computes (new-old)/old with the zero-old conventions: 0→0 is no
+// change, 0→x is an infinite regression.
+func relDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old
+}
+
+// Compare diffs new against old under the given thresholds. Benchmarks are
+// matched by name; the result's Deltas are sorted by name.
+func Compare(old, new *Baseline, th Thresholds) *Comparison {
+	cmp := &Comparison{Thresholds: th}
+	for _, o := range old.Results {
+		n := new.Lookup(o.Name)
+		if n == nil {
+			cmp.Missing = append(cmp.Missing, o.Name)
+			continue
+		}
+		d := Delta{
+			Name:        o.Name,
+			Old:         o,
+			New:         *n,
+			NsDelta:     relDelta(o.NsPerOp, n.NsPerOp),
+			AllocsDelta: relDelta(o.AllocsPerOp, n.AllocsPerOp),
+		}
+		d.NsRegressed = d.NsDelta > th.NsPerOp
+		d.AllocsRegressed = d.AllocsDelta > th.AllocsPerOp
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, n := range new.Results {
+		if old.Lookup(n.Name) == nil {
+			cmp.Added = append(cmp.Added, n.Name)
+		}
+	}
+	sort.Slice(cmp.Deltas, func(i, j int) bool { return cmp.Deltas[i].Name < cmp.Deltas[j].Name })
+	sort.Strings(cmp.Missing)
+	sort.Strings(cmp.Added)
+	return cmp
+}
+
+// Regressed reports whether any benchmark exceeded a threshold or went
+// missing from the fresh run.
+func (c *Comparison) Regressed() bool {
+	if len(c.Missing) > 0 {
+		return true
+	}
+	for _, d := range c.Deltas {
+		if d.NsRegressed || d.AllocsRegressed {
+			return true
+		}
+	}
+	return false
+}
+
+// fmtDelta renders a relative change as a signed percentage.
+func fmtDelta(d float64) string {
+	if math.IsInf(d, 1) {
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", d*100)
+}
+
+// String renders the comparison as a benchstat-style table: one row per
+// benchmark, old/new/delta columns for ns/op and allocs/op, with regressed
+// metrics flagged. Missing and added benchmarks are listed after the table.
+func (c *Comparison) String() string {
+	var sb strings.Builder
+	rows := make([][6]string, 0, len(c.Deltas))
+	header := [6]string{"name", "old ns/op", "new ns/op", "delta", "old allocs/op", "new allocs/op"}
+	widths := [6]int{}
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, d := range c.Deltas {
+		nsFlag, allocFlag := "", ""
+		if d.NsRegressed {
+			nsFlag = " !"
+		}
+		if d.AllocsRegressed {
+			allocFlag = " !"
+		}
+		row := [6]string{
+			d.Name,
+			fmt.Sprintf("%.0f", d.Old.NsPerOp),
+			fmt.Sprintf("%.0f", d.New.NsPerOp),
+			fmtDelta(d.NsDelta) + nsFlag,
+			fmt.Sprintf("%.1f", d.Old.AllocsPerOp),
+			fmt.Sprintf("%.1f (%s)%s", d.New.AllocsPerOp, fmtDelta(d.AllocsDelta), allocFlag),
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeRow := func(row [6]string) {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&sb, "%*s", widths[i], cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, name := range c.Missing {
+		fmt.Fprintf(&sb, "missing from new run: %s\n", name)
+	}
+	for _, name := range c.Added {
+		fmt.Fprintf(&sb, "new benchmark (not in baseline): %s\n", name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,196 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkBaseline(results ...Result) *Baseline {
+	b := &Baseline{Benchtime: "100x", Results: results}
+	b.Sort()
+	return b
+}
+
+func TestCompareImprovement(t *testing.T) {
+	old := mkBaseline(Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 640})
+	new := mkBaseline(Result{Name: "A", NsPerOp: 600, AllocsPerOp: 2, BytesPerOp: 64})
+	cmp := Compare(old, new, DefaultThresholds())
+	if cmp.Regressed() {
+		t.Fatalf("improvement flagged as regression:\n%s", cmp)
+	}
+	if len(cmp.Deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(cmp.Deltas))
+	}
+	d := cmp.Deltas[0]
+	if got, want := d.NsDelta, -0.4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("NsDelta = %v, want %v", got, want)
+	}
+	if got, want := d.AllocsDelta, -0.8; math.Abs(got-want) > 1e-9 {
+		t.Errorf("AllocsDelta = %v, want %v", got, want)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	old := mkBaseline(Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10})
+	new := mkBaseline(Result{Name: "A", NsPerOp: 1500, AllocsPerOp: 10})
+	cmp := Compare(old, new, DefaultThresholds())
+	if !cmp.Regressed() {
+		t.Fatal("50%% ns/op regression not flagged under a 40%% threshold")
+	}
+	if !cmp.Deltas[0].NsRegressed || cmp.Deltas[0].AllocsRegressed {
+		t.Errorf("want ns regressed only, got ns=%t allocs=%t",
+			cmp.Deltas[0].NsRegressed, cmp.Deltas[0].AllocsRegressed)
+	}
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	old := mkBaseline(Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10})
+	new := mkBaseline(Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 13})
+	cmp := Compare(old, new, DefaultThresholds())
+	if !cmp.Regressed() {
+		t.Fatal("30%% allocs/op regression not flagged under a 25%% threshold")
+	}
+	// The same run passes under a looser allocs threshold.
+	loose := Compare(old, new, Thresholds{NsPerOp: 0.40, AllocsPerOp: 0.50})
+	if loose.Regressed() {
+		t.Fatal("30%% allocs regression flagged under a 50%% threshold")
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	old := mkBaseline(Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 8})
+	new := mkBaseline(Result{Name: "A", NsPerOp: 1300, AllocsPerOp: 9})
+	cmp := Compare(old, new, DefaultThresholds())
+	if cmp.Regressed() {
+		t.Fatalf("within-threshold drift flagged as regression:\n%s", cmp)
+	}
+}
+
+func TestCompareZeroAllocsBaseline(t *testing.T) {
+	// 0 -> 0 is no change; 0 -> anything positive is an infinite
+	// regression (a previously allocation-free path started allocating).
+	old := mkBaseline(
+		Result{Name: "Clean", AllocsPerOp: 0, NsPerOp: 100},
+		Result{Name: "Dirtied", AllocsPerOp: 0, NsPerOp: 100},
+	)
+	new := mkBaseline(
+		Result{Name: "Clean", AllocsPerOp: 0, NsPerOp: 100},
+		Result{Name: "Dirtied", AllocsPerOp: 1, NsPerOp: 100},
+	)
+	cmp := Compare(old, new, DefaultThresholds())
+	if !cmp.Regressed() {
+		t.Fatal("0 -> 1 allocs/op not flagged")
+	}
+	for _, d := range cmp.Deltas {
+		switch d.Name {
+		case "Clean":
+			if d.AllocsRegressed {
+				t.Error("0 -> 0 allocs flagged as regression")
+			}
+		case "Dirtied":
+			if !d.AllocsRegressed || !math.IsInf(d.AllocsDelta, 1) {
+				t.Errorf("0 -> 1 allocs: regressed=%t delta=%v, want true/+Inf",
+					d.AllocsRegressed, d.AllocsDelta)
+			}
+		}
+	}
+	if !strings.Contains(cmp.String(), "+inf") {
+		t.Errorf("String() should render an infinite delta:\n%s", cmp)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	old := mkBaseline(
+		Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10},
+		Result{Name: "B", NsPerOp: 2000, AllocsPerOp: 20},
+	)
+	new := mkBaseline(Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10})
+	cmp := Compare(old, new, DefaultThresholds())
+	if !cmp.Regressed() {
+		t.Fatal("missing benchmark not treated as a gate failure")
+	}
+	if len(cmp.Missing) != 1 || cmp.Missing[0] != "B" {
+		t.Fatalf("Missing = %v, want [B]", cmp.Missing)
+	}
+	if !strings.Contains(cmp.String(), "missing from new run: B") {
+		t.Errorf("String() should report the missing benchmark:\n%s", cmp)
+	}
+}
+
+func TestCompareAddedBenchmark(t *testing.T) {
+	old := mkBaseline(Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10})
+	new := mkBaseline(
+		Result{Name: "A", NsPerOp: 1000, AllocsPerOp: 10},
+		Result{Name: "C", NsPerOp: 5, AllocsPerOp: 0},
+	)
+	cmp := Compare(old, new, DefaultThresholds())
+	if cmp.Regressed() {
+		t.Fatal("an added benchmark must not fail the gate")
+	}
+	if len(cmp.Added) != 1 || cmp.Added[0] != "C" {
+		t.Fatalf("Added = %v, want [C]", cmp.Added)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := mkBaseline(
+		Result{Name: "Z", Iterations: 100, NsPerOp: 123.5, AllocsPerOp: 7, BytesPerOp: 576},
+		Result{Name: "A", Iterations: 200, NsPerOp: 9.25, AllocsPerOp: 0, BytesPerOp: 0},
+	)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchtime != b.Benchtime {
+		t.Errorf("Benchtime = %q, want %q", got.Benchtime, b.Benchtime)
+	}
+	if len(got.Results) != 2 || got.Results[0].Name != "A" || got.Results[1].Name != "Z" {
+		t.Fatalf("round-trip results not sorted by name: %+v", got.Results)
+	}
+	if got.Results[1].NsPerOp != 123.5 || got.Results[1].AllocsPerOp != 7 {
+		t.Errorf("round-trip lost values: %+v", got.Results[1])
+	}
+}
+
+func TestBaselineDeterministicEncoding(t *testing.T) {
+	a := mkBaseline(Result{Name: "B"}, Result{Name: "A"})
+	b := mkBaseline(Result{Name: "A"}, Result{Name: "B"})
+	var bufA, bufB bytes.Buffer
+	if err := a.Write(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Error("encoding depends on insertion order")
+	}
+}
+
+// TestRunSuiteSmoke runs the real suite at a single iteration to ensure
+// every registered benchmark executes and yields named results — this is
+// what hcperf-bench -json and the CI bench gate invoke.
+func TestRunSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke is not short")
+	}
+	base, err := RunSuite("1x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != len(Suite()) {
+		t.Fatalf("got %d results, want %d", len(base.Results), len(Suite()))
+	}
+	for _, r := range base.Results {
+		if r.Name == "" || r.Iterations <= 0 {
+			t.Errorf("malformed result: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package perf
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hcperf/internal/dag"
+	"hcperf/internal/engine"
+	"hcperf/internal/exectime"
+	"hcperf/internal/hungarian"
+	"hcperf/internal/mfc"
+	"hcperf/internal/sched"
+	"hcperf/internal/simtime"
+)
+
+// Bench is one named entry of the gated benchmark suite.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Suite returns the benchmarks the perf baseline tracks: the hot paths the
+// dispatch-layer optimisations target (γ search, dispatch selection,
+// Hungarian matching one-shot vs. reused Solver, a full engine second per
+// policy, one controller step). Names are stable identifiers — they key the
+// baseline JSON, so renaming one invalidates the checked-in baseline.
+func Suite() []Bench {
+	return []Bench{
+		{"DynamicSelect/queue=32", func(b *testing.B) { benchDynamicSelect(b, 32) }},
+		{"GammaSearch/queue=8", func(b *testing.B) { benchGammaSearch(b, 8) }},
+		{"GammaSearch/queue=128", func(b *testing.B) { benchGammaSearch(b, 128) }},
+		{"HungarianSolve/n=23", func(b *testing.B) { benchHungarianOneShot(b, 23) }},
+		{"HungarianSolver/n=23", func(b *testing.B) { benchHungarianReuse(b, 23) }},
+		{"EngineSecond/EDF", func(b *testing.B) {
+			benchEngineSecond(b, func() sched.Scheduler { return sched.EDF{} })
+		}},
+		{"EngineSecond/HCPerf", func(b *testing.B) {
+			benchEngineSecond(b, func() sched.Scheduler { return sched.NewDynamic(0) })
+		}},
+		{"MFCStep", benchMFCStep},
+	}
+}
+
+// RunSuite runs every suite benchmark via testing.Benchmark and returns the
+// collected baseline. benchtime sets the standard -test.benchtime value
+// (e.g. "100x" for a fixed iteration count, "1s" for a duration); empty
+// keeps the harness default. It works from a plain binary (hcperf-bench) as
+// well as from inside a test.
+func RunSuite(benchtime string) (*Baseline, error) {
+	if benchtime != "" {
+		// In a non-test binary the testing flags are unregistered until
+		// testing.Init; inside a test binary they already exist and a
+		// second Init would panic on re-registration.
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return nil, fmt.Errorf("perf: setting benchtime %q: %w", benchtime, err)
+		}
+	}
+	base := &Baseline{Benchtime: benchtime}
+	for _, bench := range Suite() {
+		r := testing.Benchmark(bench.Fn)
+		if r.N == 0 {
+			return nil, fmt.Errorf("perf: benchmark %s did not run (failed inside testing.Benchmark?)", bench.Name)
+		}
+		base.Results = append(base.Results, Result{
+			Name:        bench.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		})
+	}
+	base.Sort()
+	return base, nil
+}
+
+// RunSuiteBest runs the suite repeat times and keeps, per benchmark, the
+// result with the lowest ns/op. Minimum-of-N is the standard noise-robust
+// benchmark estimator: scheduler preemption, frequency scaling and cache
+// pollution only ever add time, so the minimum is the closest observable to
+// the true cost. allocs/op and B/op are deterministic across runs, so the
+// choice of run does not disturb them.
+func RunSuiteBest(benchtime string, repeat int) (*Baseline, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	best, err := RunSuite(benchtime)
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < repeat; r++ {
+		next, err := RunSuite(benchtime)
+		if err != nil {
+			return nil, err
+		}
+		for i := range best.Results {
+			if n := next.Lookup(best.Results[i].Name); n != nil && n.NsPerOp < best.Results[i].NsPerOp {
+				best.Results[i] = *n
+			}
+		}
+	}
+	return best, nil
+}
+
+// suiteJobs builds a deterministic pseudo-random ready queue of n jobs, the
+// same shape the top-level micro-benchmarks use.
+func suiteJobs(n int) []*sched.Job {
+	rng := rand.New(rand.NewSource(1))
+	jobs := make([]*sched.Job, n)
+	for i := range jobs {
+		d := simtime.Duration(0.02 + rng.Float64()*0.08)
+		jobs[i] = &sched.Job{
+			Task: &dag.Task{
+				ID:          dag.TaskID(i),
+				Name:        fmt.Sprintf("t%d", i),
+				Priority:    rng.Intn(23) + 1,
+				RelDeadline: d,
+				Exec:        exectime.Constant(simtime.Duration(0.002 + rng.Float64()*0.02)),
+			},
+			Release:     simtime.Time(rng.Float64() * 0.01),
+			AbsDeadline: simtime.Time(rng.Float64()*0.01) + d,
+			EstExec:     simtime.Duration(0.002 + rng.Float64()*0.02),
+		}
+	}
+	return jobs
+}
+
+func benchDynamicSelect(b *testing.B, n int) {
+	b.ReportAllocs()
+	jobs := suiteJobs(n)
+	dyn := sched.NewDynamic(0.02)
+	dyn.SetNominalU(0.01)
+	st := &sched.ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+	dyn.Recompute(0, jobs, st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx := dyn.Select(0, jobs, 0, st); idx < 0 {
+			b.Fatal("no job selected")
+		}
+	}
+}
+
+func benchGammaSearch(b *testing.B, n int) {
+	b.ReportAllocs()
+	jobs := suiteJobs(n)
+	dyn := sched.NewDynamic(0.02)
+	dyn.SetNominalU(0.01)
+	st := &sched.ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dyn.Recompute(0, jobs, st)
+	}
+}
+
+// suiteCost builds a deterministic n x n cost matrix.
+func suiteCost(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()
+		}
+	}
+	return cost
+}
+
+func benchHungarianOneShot(b *testing.B, n int) {
+	b.ReportAllocs()
+	cost := suiteCost(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hungarian.Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHungarianReuse(b *testing.B, n int) {
+	b.ReportAllocs()
+	cost := suiteCost(n)
+	var s hungarian.Solver
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngineSecond(b *testing.B, mk func() sched.Scheduler) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := dag.ADGraph23()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := simtime.NewEventQueue()
+		eng, err := engine.New(engine.Config{
+			Graph:     g,
+			Scheduler: mk(),
+			NumProcs:  2,
+			Queue:     q,
+			Seed:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := q.RunUntil(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMFCStep(b *testing.B) {
+	b.ReportAllocs()
+	c, err := mfc.New(mfc.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step(simtime.Time(i)*100*simtime.Millisecond, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

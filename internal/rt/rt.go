@@ -90,11 +90,12 @@ type Config struct {
 type Executor struct {
 	cfg Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	k       *lifecycle.Kernel
-	running []simtime.Time // per-worker expected finish (elapsed time)
-	stopped bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	k         *lifecycle.Kernel
+	running   []simtime.Time  // per-worker expected finish (elapsed time)
+	procState sched.ProcState // reused snapshot, guarded by mu
+	stopped   bool
 
 	start   time.Time
 	started bool
@@ -140,17 +141,18 @@ func (b rtBackend) DeliverAfter(now simtime.Time, d simtime.Duration, fn func(at
 // Wake implements lifecycle.Backend.
 func (b rtBackend) Wake(now simtime.Time) { b.e.cond.Broadcast() }
 
-// ProcState implements lifecycle.Backend.
+// ProcState implements lifecycle.Backend. Every call arrives with e.mu
+// held, so the snapshot is reused across scheduling decisions instead of
+// being allocated per call (see the Backend non-retention contract).
 func (b rtBackend) ProcState(now simtime.Time) *sched.ProcState {
 	e := b.e
-	st := &sched.ProcState{
-		NumProcs:  e.cfg.NumProcs,
-		Remaining: make([]simtime.Duration, e.cfg.NumProcs),
-	}
+	st := &e.procState
 	for i, until := range e.running {
+		var r simtime.Duration
 		if until > now {
-			st.Remaining[i] = until - now
+			r = until - now
 		}
+		st.Remaining[i] = r
 	}
 	return st
 }
@@ -172,7 +174,11 @@ func New(cfg Config) (*Executor, error) {
 	e := &Executor{
 		cfg:     cfg,
 		running: make([]simtime.Time, cfg.NumProcs),
-		stopCh:  make(chan struct{}),
+		procState: sched.ProcState{
+			NumProcs:  cfg.NumProcs,
+			Remaining: make([]simtime.Duration, cfg.NumProcs),
+		},
+		stopCh: make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	onControl := cfg.OnControl
@@ -406,8 +412,9 @@ func (e *Executor) execute(d simtime.Duration, now simtime.Time) {
 			cost[i][k] = float64((i*31 + k*17) % 97)
 		}
 	}
+	var solver hungarian.Solver // reused across iterations: the burn loop allocates nothing
 	for time.Now().Before(deadline) {
-		if _, _, err := hungarian.Solve(cost); err != nil {
+		if _, _, err := solver.Solve(cost); err != nil {
 			return // unreachable with a well-formed matrix
 		}
 	}

@@ -1,0 +1,82 @@
+package sched
+
+// DispatchOrder is a heap-ranked view of the queue snapshot; these tests
+// pin its contract: the ranking equals what draining the queue through
+// Select would dispatch, rebuilds are lazy, and steady-state calls do not
+// allocate.
+
+import (
+	"math/rand"
+	"testing"
+
+	"hcperf/internal/simtime"
+)
+
+func TestDispatchOrderMatchesSelectDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(24)
+		jobs := randomJobs(rng, n, 0)
+		st := &ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+		d := NewDynamic(0.02)
+		d.SetNominalU(rng.Float64() * 0.02)
+		d.Recompute(0, jobs, st)
+
+		got := d.DispatchOrder()
+		want := drain(d, jobs, st)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: DispatchOrder has %d jobs, Select drain %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (γ=%g): rank %d differs: heap %+v vs drain %+v",
+					trial, d.Gamma(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDispatchOrderLazyRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	jobs := randomJobs(rng, 16, 0)
+	st := &ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+	d := NewDynamic(0.02)
+	d.Recompute(0, jobs, st)
+
+	first := d.DispatchOrder()
+	// Unchanged γ and queue: the same backing slice comes back, unrebuilt.
+	again := d.DispatchOrder()
+	if &first[0] != &again[0] || len(first) != len(again) {
+		t.Error("DispatchOrder rebuilt despite unchanged scheduler state")
+	}
+	// A new Recompute (even with γ forced to a new value) marks the
+	// ranking dirty and produces a fresh, consistent ordering.
+	d.SetNominalU(0.02)
+	d.Recompute(0, jobs, st)
+	reranked := d.DispatchOrder()
+	want := drain(d, jobs, st)
+	for i := range reranked {
+		if reranked[i] != want[i] {
+			t.Fatalf("post-Recompute rank %d differs from Select drain", i)
+		}
+	}
+}
+
+func TestDispatchOrderSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	jobs := randomJobs(rng, 32, 0)
+	st := &ProcState{NumProcs: 2, Remaining: make([]simtime.Duration, 2)}
+	d := NewDynamic(0.02)
+	d.SetNominalU(0.01)
+	// Warm the scratch buffers and the heap storage once.
+	d.Recompute(0, jobs, st)
+	d.DispatchOrder()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Recompute(0, jobs, st)
+		d.DispatchOrder()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Recompute+DispatchOrder allocates %v objects/op, want 0", allocs)
+	}
+}

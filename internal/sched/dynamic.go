@@ -24,6 +24,14 @@ import (
 // [0, γmax] (Eq. 12). When even γ = 0 is infeasible the system is
 // overloaded; γ is forced to 0 and the Overloaded flag is raised for the
 // external coordinator.
+//
+// Recompute is the scheduler's hot path — the kernel invokes it on every
+// ready-queue change, and each invocation evaluates the Eq. 11 constraint
+// set at up to 2+BisectIters candidate γ values. All per-job quantities the
+// constraints need (p_i, d_i, c_i, deadline slack) are therefore captured
+// once per Recompute into scratch buffers reused across calls, and each
+// candidate γ only sorts an index permutation; steady-state Recompute
+// allocates nothing.
 type Dynamic struct {
 	// GammaCap bounds the γ search bracket (constraint 1b, γ^max).
 	GammaCap float64
@@ -35,6 +43,23 @@ type Dynamic struct {
 	gamma      float64
 	gammaMax   float64
 	overloaded bool
+
+	// Scratch state captured from the ready queue by the last Recompute
+	// (or direct feasible probe). Slices are reused across calls.
+	jobs   []*Job    // queue snapshot, in arrival order
+	prio   []float64 // p_i
+	latest []float64 // d_i: latest feasible start, absolute
+	exec   []float64 // c_i
+	slack  []float64 // deadline_i − now
+	keys   []float64 // P_i(γ) for the candidate γ under test
+	order  []int     // index permutation sorted by keys
+	sorter *keySorter
+
+	// Dispatch-order heap keyed on P_i under the γ in force, rebuilt
+	// lazily and only when γ (or the captured queue) changes.
+	heap      jobHeap
+	heapOrder []*Job
+	heapDirty bool
 }
 
 // DefaultGammaCap spans enough γ range that γ·Δp can dominate the largest
@@ -71,6 +96,35 @@ func (d *Dynamic) GammaMax() float64 { return d.gammaMax }
 // to shed load.
 func (d *Dynamic) Overloaded() bool { return d.overloaded }
 
+// capture snapshots the per-job constraint inputs into the scratch buffers.
+func (d *Dynamic) capture(now simtime.Time, ready []*Job) {
+	n := len(ready)
+	if cap(d.prio) < n {
+		d.jobs = make([]*Job, n)
+		d.prio = make([]float64, n)
+		d.latest = make([]float64, n)
+		d.exec = make([]float64, n)
+		d.slack = make([]float64, n)
+		d.keys = make([]float64, n)
+		d.order = make([]int, n)
+	}
+	d.jobs = d.jobs[:n]
+	d.prio = d.prio[:n]
+	d.latest = d.latest[:n]
+	d.exec = d.exec[:n]
+	d.slack = d.slack[:n]
+	d.keys = d.keys[:n]
+	d.order = d.order[:n]
+	for i, j := range ready {
+		d.jobs[i] = j
+		d.prio[i] = float64(j.Task.Priority)
+		d.latest[i] = float64(j.LatestStart())
+		d.exec[i] = float64(j.EstExec)
+		d.slack[i] = float64(j.AbsDeadline - now)
+	}
+	d.heapDirty = true
+}
+
 // Recompute re-derives γmax from the current ready queue and processor
 // state, then maps the nominal u into γ per Eq. 12. Call it when the ready
 // queue changes materially or when the controller publishes a new u.
@@ -80,15 +134,21 @@ func (d *Dynamic) Overloaded() bool { return d.overloaded }
 // regime — tight deadlines favour small γ — so a bisection over [0,
 // GammaCap] finds γmax to within GammaCap·2^-BisectIters.
 func (d *Dynamic) Recompute(now simtime.Time, ready []*Job, state *ProcState) {
+	d.capture(now, ready)
+	np := float64(state.NumProcs)
+	base := 0.0
+	if np > 0 {
+		base = float64(state.TotalRemaining()) / np
+	}
 	switch {
 	case len(ready) == 0:
 		// Empty queue: every γ is trivially feasible.
 		d.gammaMax = d.GammaCap
 		d.overloaded = false
-	case !d.feasible(0, now, ready, state):
+	case !d.check(0, np, base):
 		d.gammaMax = 0
 		d.overloaded = true
-	case d.feasible(d.GammaCap, now, ready, state):
+	case d.check(d.GammaCap, np, base):
 		d.gammaMax = d.GammaCap
 		d.overloaded = false
 	default:
@@ -99,7 +159,7 @@ func (d *Dynamic) Recompute(now simtime.Time, ready []*Job, state *ProcState) {
 		}
 		for i := 0; i < iters; i++ {
 			mid := (lo + hi) / 2
-			if d.feasible(mid, now, ready, state) {
+			if d.check(mid, np, base) {
 				lo = mid
 			} else {
 				hi = mid
@@ -109,6 +169,7 @@ func (d *Dynamic) Recompute(now simtime.Time, ready []*Job, state *ProcState) {
 		d.overloaded = false
 	}
 	d.gamma = clampGamma(d.nominalU, d.gammaMax)
+	d.heapDirty = true
 }
 
 // clampGamma maps the nominal u to the actual γ per Eq. 12.
@@ -123,26 +184,50 @@ func clampGamma(u, gammaMax float64) float64 {
 	}
 }
 
-// feasible checks the Eq. 11 constraint set for a candidate γ: with jobs
-// served in P_i(γ) order on n_p processors, every job k must satisfy
-//
-//	c_k + ΣT_p/n_p + Σ_{P_i<P_k} c_i/n_p  <  deadline_k − now.
+// feasible checks the Eq. 11 constraint set for a candidate γ against an
+// arbitrary queue snapshot; it re-captures the scratch state, so tests and
+// external probes can call it directly. Recompute captures once and probes
+// many γ values via check.
 func (d *Dynamic) feasible(gamma float64, now simtime.Time, ready []*Job, state *ProcState) bool {
 	np := float64(state.NumProcs)
 	if np <= 0 {
 		return false
 	}
-	order := make([]*Job, len(ready))
-	copy(order, ready)
-	sort.SliceStable(order, func(i, j int) bool {
-		return d.priorityOf(order[i], gamma) < d.priorityOf(order[j], gamma)
-	})
-	base := float64(state.TotalRemaining()) / np
+	d.capture(now, ready)
+	return d.check(gamma, np, float64(state.TotalRemaining())/np)
+}
+
+// check evaluates the Eq. 11 constraint set for a candidate γ over the
+// captured queue: with jobs served in P_i(γ) order on n_p processors, every
+// job k must satisfy
+//
+//	c_k + ΣT_p/n_p + Σ_{P_i<P_k} c_i/n_p  <  deadline_k − now.
+//
+// The sort permutes an index scratch slice (stable, so ties keep arrival
+// order exactly as a stable sort of the queue itself would); no per-call
+// allocation.
+func (d *Dynamic) check(gamma, np, base float64) bool {
+	if np <= 0 {
+		return false
+	}
+	keys, order := d.keys, d.order
+	for i := range order {
+		order[i] = i
+		keys[i] = gamma*d.prio[i] + d.latest[i]
+	}
+	if d.sorter == nil {
+		d.sorter = &keySorter{}
+	}
+	d.sorter.keys, d.sorter.order = keys, order
+	// sort.Stable on a concrete sort.Interface: stable, like the previous
+	// sort.SliceStable of the queue copy (so ties keep arrival order), but
+	// without the closure and interface-conversion allocations per call.
+	sort.Stable(d.sorter)
 	cum := 0.0
-	for _, j := range order {
-		c := float64(j.EstExec)
+	for _, i := range order {
+		c := d.exec[i]
 		need := c + base + cum/np
-		if need >= float64(j.AbsDeadline-now) {
+		if need >= d.slack[i] {
 			return false
 		}
 		cum += c
@@ -150,15 +235,56 @@ func (d *Dynamic) feasible(gamma float64, now simtime.Time, ready []*Job, state 
 	return true
 }
 
+// keySorter stably sorts an index permutation by its key values. A concrete
+// sort.Interface (instead of sort.SliceStable's closure) keeps the per-call
+// allocation count at zero.
+type keySorter struct {
+	keys  []float64
+	order []int
+}
+
+func (s *keySorter) Len() int           { return len(s.order) }
+func (s *keySorter) Less(a, b int) bool { return s.keys[s.order[a]] < s.keys[s.order[b]] }
+func (s *keySorter) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
 // priorityOf evaluates Eq. 10 for one job. Smaller is dispatched first.
 func (d *Dynamic) priorityOf(j *Job, gamma float64) float64 {
 	return gamma*float64(j.Task.Priority) + float64(j.LatestStart())
 }
 
 // Select implements Scheduler: the queued job with the smallest dynamic
-// priority P_i under the γ currently in force.
+// priority P_i under the γ currently in force. Select is a pure function of
+// its inputs (the Scheduler contract), so it scans rather than consuming
+// the dispatch heap; use DispatchOrder for the full ranking.
 func (d *Dynamic) Select(_ simtime.Time, ready []*Job, _ int, _ *ProcState) int {
 	return pickBest(ready, nil, func(j *Job) float64 { return d.priorityOf(j, d.gamma) })
+}
+
+// DispatchOrder returns the ready queue captured by the last Recompute in
+// dispatch order under the γ in force: ascending P_i = γ·p_i + d_i with
+// Select's deterministic tie-breaks (earlier release, then lower task ID,
+// then arrival order). The ranking comes from a binary heap keyed on P_i
+// that is rebuilt lazily — only after γ or the queue changed — and reuses
+// its storage, so steady-state calls allocate nothing.
+//
+// The returned slice is owned by the scheduler and overwritten by the next
+// rebuild; copy it if it must outlive the next Recompute. Diagnostic
+// consumers (traces, tests, the serve layer) use it to see the whole
+// queue's ranking rather than just Select's single winner.
+func (d *Dynamic) DispatchOrder() []*Job {
+	if d.heapDirty {
+		d.heapOrder = d.heap.rank(d.jobs, d.keysInForce, d.heapOrder)
+		d.heapDirty = false
+	}
+	return d.heapOrder
+}
+
+// keysInForce fills keys[i] with P_i under the γ currently in force for the
+// captured queue snapshot.
+func (d *Dynamic) keysInForce(keys []float64) {
+	for i := range d.jobs {
+		keys[i] = d.gamma*d.prio[i] + d.latest[i]
+	}
 }
 
 // String summarises the scheduler state for traces.

@@ -1,0 +1,78 @@
+package sched
+
+import "container/heap"
+
+// jobHeap is a binary min-heap over a queue snapshot keyed on the dynamic
+// priority P_i, with the same deterministic tie-breaks pickBest applies:
+// smaller key first, then earlier release, then lower task ID, then arrival
+// order. The last tie-break makes the order a total order, so the heap's
+// pop sequence is unique — identical to a stable sort under the same key —
+// and DispatchOrder stays bit-for-bit consistent with Select.
+//
+// The heap owns no jobs; it ranks the snapshot the Dynamic scheduler
+// captured at its last Recompute and reuses its entry storage across
+// rebuilds.
+type jobHeap struct {
+	jobs []*Job
+	keys []float64
+	seq  []int
+}
+
+func (h *jobHeap) Len() int { return len(h.seq) }
+
+func (h *jobHeap) Less(a, b int) bool {
+	i, j := h.seq[a], h.seq[b]
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	ji, jj := h.jobs[i], h.jobs[j]
+	if ji.Release != jj.Release {
+		return ji.Release < jj.Release
+	}
+	if ji.Task.ID != jj.Task.ID {
+		return ji.Task.ID < jj.Task.ID
+	}
+	return i < j
+}
+
+func (h *jobHeap) Swap(a, b int) { h.seq[a], h.seq[b] = h.seq[b], h.seq[a] }
+
+// Push and Pop satisfy heap.Interface; rank only ever shrinks the heap, so
+// Push is never reached.
+func (h *jobHeap) Push(x any) { h.seq = append(h.seq, x.(int)) }
+
+func (h *jobHeap) Pop() any {
+	old := h.seq
+	n := len(old)
+	x := old[n-1]
+	h.seq = old[:n-1]
+	return x
+}
+
+// rank heapifies the snapshot under the keys produced by fill and drains the
+// heap into out, returning the jobs in dispatch order. All storage (keys,
+// heap entries, the output slice) is reused across calls.
+func (h *jobHeap) rank(jobs []*Job, fill func(keys []float64), out []*Job) []*Job {
+	n := len(jobs)
+	if cap(h.keys) < n {
+		h.keys = make([]float64, n)
+		h.seq = make([]int, 0, n)
+	}
+	h.jobs = jobs
+	h.keys = h.keys[:n]
+	fill(h.keys)
+	h.seq = h.seq[:n]
+	for i := range h.seq {
+		h.seq[i] = i
+	}
+	heap.Init(h)
+	if cap(out) < n {
+		out = make([]*Job, 0, n)
+	}
+	out = out[:0]
+	for h.Len() > 0 {
+		out = append(out, jobs[heap.Pop(h).(int)])
+	}
+	h.jobs = nil // drop the reference; the snapshot owns the jobs
+	return out
+}
