@@ -8,7 +8,7 @@ GO ?= go
 # wall-clock executor.
 RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
              ./internal/engine/... ./internal/scenario/... ./internal/rt/... \
-             ./internal/lifecycle/... ./internal/service/...
+             ./internal/lifecycle/... ./internal/service/... ./internal/fleet/...
 
 .PHONY: ci vet build test race bench bench-json bench-check bench-update fuzz suite trace-demo serve
 

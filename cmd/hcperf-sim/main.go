@@ -28,6 +28,7 @@ import (
 
 	"hcperf/internal/dag"
 	"hcperf/internal/experiment"
+	"hcperf/internal/fleet"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/rt"
 	"hcperf/internal/scenario"
@@ -163,7 +164,10 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 	} else {
 		spec = scenario.Spec{Scenario: scenarioName, Scheme: schemeName, Seed: seed, Duration: duration}
 	}
-	r, err := scenario.RunSpec(spec, tracer)
+	// fleet.RunSpec is fleet-aware: specs with a fleet block fan out to N
+	// vehicles on one shared clock; all others take the single-vehicle
+	// path unchanged.
+	r, err := fleet.RunSpec(spec, tracer)
 	if err != nil {
 		return err
 	}

@@ -162,6 +162,33 @@ func TestRunSpecFile(t *testing.T) {
 	}
 }
 
+// TestRunFleetSpecFile drives a coupled fleet spec through the CLI: the
+// run must succeed and export the fleet-level aggregate series as CSV.
+func TestRunFleetSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	spec := `{
+		"name": "mini-platoon",
+		"scenario": "carfollow",
+		"scheme": "hcperf",
+		"duration": 4,
+		"fleet": {"n": 6, "coupling": "platoon", "spacing": 18}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(t.TempDir(), "fleet.csv")
+	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1); err != nil {
+		t.Fatalf("run -spec fleet: %v", err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fleet_err_p95") {
+		t.Error("fleet CSV is missing the fleet_err_p95 aggregate series")
+	}
+}
+
 func TestRunSpecFileRejectsInvalid(t *testing.T) {
 	dir := t.TempDir()
 	tests := []struct {
@@ -172,6 +199,10 @@ func TestRunSpecFileRejectsInvalid(t *testing.T) {
 		{"unknown scenario", `{"scenario": "bogus"}`, "unknown scenario"},
 		{"unknown task", `{"scenario": "carfollow", "loads": [{"task": "bogus", "from": 0, "to": 1, "factor": 2}]}`, "bogus"},
 		{"negative duration", `{"scenario": "carfollow", "duration": -1}`, "duration"},
+		{"fleet zero vehicles", `{"scenario": "carfollow", "fleet": {"n": 0}}`, "fleet.n"},
+		{"fleet unknown coupling", `{"scenario": "carfollow", "fleet": {"n": 4, "coupling": "v2x"}}`, "unknown fleet coupling"},
+		{"fleet negative spacing", `{"scenario": "carfollow", "fleet": {"n": 4, "coupling": "platoon", "spacing": -1}}`, "fleet.spacing"},
+		{"fleet outside family", `{"scenario": "lanekeep", "fleet": {"n": 4}}`, "fleet block"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

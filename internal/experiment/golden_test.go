@@ -18,6 +18,7 @@ var goldenDigests = map[string]string{
 	"ablate-e2e":      "b15b8b412b61e8b72a2fd990461c34be68fd51e01c7b10ed0f8ce8f83d112347",
 	"ablate-gammacap": "6a6d63a9a27b8e2833d460d9ec0600c71985f3f9693f47041de6d4f7589235a5",
 	"ext-aeb":         "294fb210824cd80f0138aeab86ed1197ae86d5fcbe064294b42ca5ae771995d4",
+	"ext-fleet":       "a7109966f5467a97f90ba89f67338d5f925b12c30a5e44c3bc5922bb05c2c7d6",
 	"ext-dual":        "3dbb056751a3f936066d34cab2869485eb0db011295f322ba9aee6d4cfd6f0c4",
 	"fig12":           "508ef37c42d8480a9ca1441400ded3a2ef3d2228516aa36ae14c7478fddc2a63",
 	"fig13":           "067026c9316163c47ea14e463d12f470ba9a0d67d5ccf116405408d9b96cb595",

@@ -9,8 +9,10 @@ import (
 	"hcperf/internal/dag"
 	"hcperf/internal/engine"
 	"hcperf/internal/exectime"
+	"hcperf/internal/fleet"
 	"hcperf/internal/hungarian"
 	"hcperf/internal/mfc"
+	"hcperf/internal/scenario"
 	"hcperf/internal/sched"
 	"hcperf/internal/simtime"
 )
@@ -40,6 +42,8 @@ func Suite() []Bench {
 			benchEngineSecond(b, func() sched.Scheduler { return sched.NewDynamic(0) })
 		}},
 		{"MFCStep", benchMFCStep},
+		{"FleetSecond/N=16", func(b *testing.B) { benchFleetSecond(b, 16) }},
+		{"FleetSecond/N=256", func(b *testing.B) { benchFleetSecond(b, 256) }},
 	}
 }
 
@@ -214,6 +218,25 @@ func benchEngineSecond(b *testing.B, mk func() sched.Scheduler) {
 			b.Fatal(err)
 		}
 		if err := q.RunUntil(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFleetSecond measures one simulated second of an N-vehicle
+// platoon-coupled fleet — N full closed loops (engine, coordinator,
+// vehicle dynamics) interleaved on one shared clock, the fleet layer's
+// end-to-end hot path.
+func benchFleetSecond(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Run(fleet.Config{
+			Base:     scenario.CarFollowingConfig{Scheme: scenario.SchemeHCPerf, Duration: 1},
+			N:        n,
+			Coupling: scenario.FleetCouplingPlatoon,
+			Spacing:  18,
+			Seed:     1,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -36,6 +36,10 @@ type CarFollowingConfig struct {
 	// InitSpeed is the follower's starting speed (default: profile
 	// speed at t = 0).
 	InitSpeed float64
+	// InitGap is the initial gap to the lead vehicle in metres (default:
+	// the desired gap at InitSpeed). Fleet platoons use it to set the
+	// initial inter-vehicle spacing.
+	InitGap float64
 	// Loads optionally multiply task execution times over time windows,
 	// on top of the obstacle profile (default none).
 	Loads []TaskLoad
@@ -79,6 +83,17 @@ type CarFollowingConfig struct {
 	MaxDataAge simtime.Duration
 }
 
+// DefaultCarFollowingObstacles is the paper's complex-scene episode — 11
+// obstacles normally, 23 during t ∈ [10 s, 80 s) — the obstacle field a
+// zero-valued CarFollowingConfig runs over. It is exported so the fleet
+// layer can wrap the same shared field with per-follower coupling terms.
+func DefaultCarFollowingObstacles(t float64) int {
+	if t >= 10 && t < 80 {
+		return 23
+	}
+	return 11
+}
+
 func (c *CarFollowingConfig) applyDefaults() error {
 	if c.Scheme == 0 {
 		return errors.New("scenario: no scheme selected")
@@ -102,12 +117,7 @@ func (c *CarFollowingConfig) applyDefaults() error {
 		c.InitSpeed = c.LeadProfile.Speed(0)
 	}
 	if c.Obstacles == nil {
-		c.Obstacles = func(t float64) int {
-			if t >= 10 && t < 80 {
-				return 23
-			}
-			return 11
-		}
+		c.Obstacles = DefaultCarFollowingObstacles
 	}
 	if c.Longitudinal == (vehicle.LongitudinalConfig{}) {
 		// A stiff longitudinal plant: the residual tracking error is
@@ -129,6 +139,9 @@ func (c *CarFollowingConfig) applyDefaults() error {
 	}
 	if c.VehicleStep <= 0 {
 		return fmt.Errorf("scenario: non-positive vehicle step %v", c.VehicleStep)
+	}
+	if c.InitGap < 0 {
+		return fmt.Errorf("scenario: negative initial gap %v", c.InitGap)
 	}
 	return nil
 }
@@ -234,8 +247,11 @@ func newCarFollowPlant(cfg *CarFollowingConfig, rec *trace.Recorder) (*carFollow
 		return nil, err
 	}
 	p.follower.Speed = cfg.InitSpeed
-	desiredGap0 := cfg.FollowerGains.StandstillGap + cfg.FollowerGains.Headway*cfg.InitSpeed
-	if p.lead, err = vehicle.NewLead(cfg.LeadProfile, desiredGap0); err != nil {
+	gap0 := cfg.InitGap
+	if gap0 == 0 {
+		gap0 = cfg.FollowerGains.StandstillGap + cfg.FollowerGains.Headway*cfg.InitSpeed
+	}
+	if p.lead, err = vehicle.NewLead(cfg.LeadProfile, gap0); err != nil {
 		return nil, err
 	}
 	if err := p.recordHistory(0); err != nil {
@@ -347,13 +363,27 @@ func (p *carFollowPlant) Sample(t float64, env *Env) {
 	recAdd(p.rec, "rate_lidar", t, env.Eng.SourceRate(env.Graph.TaskByName("lidar_scan").ID))
 }
 
-// RunCarFollowing executes one car-following run and returns its result.
-func RunCarFollowing(cfg CarFollowingConfig) (*CarFollowingResult, error) {
+// CarFollowingRun is one car-following closed loop attached to an external
+// event queue but not yet run to completion. The fleet layer attaches many
+// of these to one shared queue; the live accessors expose exactly the state
+// neighbouring vehicles may observe (V2X-style coupling), and Finish
+// collects the result once the owning queue has reached the run's duration.
+type CarFollowingRun struct {
+	cfg CarFollowingConfig
+	a   *attachedLoop
+	p   *carFollowPlant
+}
+
+// AttachCarFollowing validates cfg, applies its defaults and wires one
+// car-following closed loop onto q without running it. The caller owns the
+// queue and decides how far to advance it; the attached loop's events are
+// interleaved deterministically with everything else scheduled on q.
+func AttachCarFollowing(q *simtime.EventQueue, cfg CarFollowingConfig) (*CarFollowingRun, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
 	var p *carFollowPlant
-	out, err := runLoop(cfg.loop(), func(rec *trace.Recorder) (Plant, error) {
+	a, err := attachLoop(q, cfg.loop(), func(rec *trace.Recorder) (Plant, error) {
 		var err error
 		p, err = newCarFollowPlant(&cfg, rec)
 		return p, err
@@ -361,7 +391,37 @@ func RunCarFollowing(cfg CarFollowingConfig) (*CarFollowingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &CarFollowingRun{cfg: cfg, a: a, p: p}, nil
+}
 
+// Duration returns the run's defaulted duration in seconds — how far the
+// owning queue must be advanced before Finish.
+func (r *CarFollowingRun) Duration() float64 { return r.cfg.Duration }
+
+// FollowerSpeed returns the follower's current speed (m/s).
+func (r *CarFollowingRun) FollowerSpeed() float64 { return r.p.follower.Speed }
+
+// FollowerAccel returns the follower's current achieved acceleration
+// (m/s^2, negative while braking) — the signal platoon coupling turns into
+// follower-side obstacles.
+func (r *CarFollowingRun) FollowerAccel() float64 { return r.p.follower.Accel() }
+
+// Gap returns the current gap to the lead vehicle (m).
+func (r *CarFollowingRun) Gap() float64 { return r.p.lead.Position - r.p.follower.Position }
+
+// TrackingError returns the plant's current tracking error — the quantity
+// the coordinator regulates and the fleet layer aggregates.
+func (r *CarFollowingRun) TrackingError(now simtime.Time) float64 { return r.p.TrackingError(now) }
+
+// Rec returns the run's series recorder (live; fully populated only after
+// the owning queue reached Duration).
+func (r *CarFollowingRun) Rec() *trace.Recorder { return r.a.rec }
+
+// Finish collects the run's result. It must be called only after the owning
+// queue has been advanced to at least Duration.
+func (r *CarFollowingRun) Finish() *CarFollowingResult {
+	out := r.a.finish()
+	p, cfg := r.p, &r.cfg
 	res := &CarFollowingResult{
 		Scheme:        cfg.Scheme,
 		Rec:           out.Rec,
@@ -377,5 +437,18 @@ func RunCarFollowing(cfg CarFollowingConfig) (*CarFollowingResult, error) {
 	res.DistErrRMS = out.Rec.Series("dist_err").RMS(0, cfg.Duration)
 	res.MeanResponse = out.EngineStats.ControlResponse.Mean()
 	res.Throughput = float64(out.EngineStats.ControlCommands) / cfg.Duration
-	return res, nil
+	return res
+}
+
+// RunCarFollowing executes one car-following run and returns its result.
+func RunCarFollowing(cfg CarFollowingConfig) (*CarFollowingResult, error) {
+	q := simtime.NewEventQueue()
+	r, err := AttachCarFollowing(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.RunUntil(simtime.Time(r.cfg.Duration)); err != nil {
+		return nil, err
+	}
+	return r.Finish(), nil
 }

@@ -167,11 +167,52 @@ type loopResult struct {
 	Overhead    stats.Accumulator
 }
 
+// attachedLoop is one closed loop wired onto an event queue but not yet run
+// to completion. Single-vehicle scenarios attach to a private queue and run
+// it immediately (runLoop); the fleet layer attaches many loops to one
+// shared queue so every vehicle advances on the same virtual clock.
+type attachedLoop struct {
+	lc    loopConfig
+	rec   *trace.Recorder
+	miss  *metrics.MissBuckets
+	eng   *engine.Engine
+	coord *core.Coordinator
+	plant Plant
+}
+
+// finish collects the loop's result after the owning queue has been run to
+// the loop's duration.
+func (a *attachedLoop) finish() *loopResult {
+	res := &loopResult{Rec: a.rec, Miss: a.miss, EngineStats: a.eng.Stats()}
+	if a.coord != nil {
+		res.Overhead = a.coord.Overhead()
+	}
+	return res
+}
+
 // runLoop executes one closed-loop run: build the graph and scheduler,
 // wire engine + coordinator + plant, tick dynamics and summaries, run to
 // Duration. The build callback constructs the plant against the shared
 // recorder after the static configuration is validated.
 func runLoop(lc loopConfig, build func(rec *trace.Recorder) (Plant, error)) (*loopResult, error) {
+	q := simtime.NewEventQueue()
+	a, err := attachLoop(q, lc, build)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.RunUntil(simtime.Time(lc.Duration)); err != nil {
+		return nil, err
+	}
+	return a.finish(), nil
+}
+
+// attachLoop wires one closed loop onto q without running it: graph, load
+// steps, scheduler, engine, coordinator, the vehicle-dynamics ticker and
+// the summary-sample ticker. Registration order is load-bearing — events
+// scheduled for the same instant fire in creation order, so the sequence
+// below (plant dynamics, summary sample, engine sources, coordinator) is
+// part of the simulation's observable behaviour and must not be reordered.
+func attachLoop(q *simtime.EventQueue, lc loopConfig, build func(rec *trace.Recorder) (Plant, error)) (*attachedLoop, error) {
 	graph, err := BuildGraph(lc.Graph)
 	if err != nil {
 		return nil, err
@@ -208,7 +249,6 @@ func runLoop(lc loopConfig, build func(rec *trace.Recorder) (Plant, error)) (*lo
 		samplePeriod = 1 / lc.SampleRate
 	}
 
-	q := simtime.NewEventQueue()
 	rec := trace.NewRecorder()
 	plant, err := build(rec)
 	if err != nil {
@@ -291,15 +331,7 @@ func runLoop(lc loopConfig, build func(rec *trace.Recorder) (Plant, error)) (*lo
 			return nil, err
 		}
 	}
-	if err := q.RunUntil(simtime.Time(lc.Duration)); err != nil {
-		return nil, err
-	}
-
-	res := &loopResult{Rec: rec, Miss: miss, EngineStats: eng.Stats()}
-	if coord != nil {
-		res.Overhead = coord.Overhead()
-	}
-	return res, nil
+	return &attachedLoop{lc: lc, rec: rec, miss: miss, eng: eng, coord: coord, plant: plant}, nil
 }
 
 // applyLoadSteps wraps the named task's execution model in a load profile.

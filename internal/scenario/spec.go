@@ -67,6 +67,53 @@ type Spec struct {
 	// Obstacles is a piecewise-constant obstacle-count profile; empty
 	// keeps the scenario default.
 	Obstacles []ObstaclePhase `json:"obstacles,omitempty"`
+	// Fleet scales the run from one vehicle to N coupled vehicles on one
+	// shared virtual clock (car-following family only). Fleet specs are
+	// executed by internal/fleet; nil keeps the single-vehicle run.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
+}
+
+// Fleet coupling modes accepted by FleetSpec.Coupling.
+const (
+	// FleetCouplingNone runs N independent vehicles over the common
+	// obstacle field: no vehicle observes another.
+	FleetCouplingNone = "none"
+	// FleetCouplingPlatoon chains the vehicles: vehicle i follows
+	// vehicle i-1's simulated motion (vehicle 0 follows the scenario's
+	// lead profile), and a hard-braking predecessor inflates its
+	// follower's obstacle count — V2X-style shared-world coupling.
+	FleetCouplingPlatoon = "platoon"
+)
+
+// FleetCouplings lists the coupling modes in stable order.
+func FleetCouplings() []string { return []string{FleetCouplingNone, FleetCouplingPlatoon} }
+
+// FleetSpec is the declarative form of a multi-vehicle fleet run. The rest
+// of the Spec acts as the per-vehicle template; the fleet block says how
+// many vehicles to instantiate, how their worlds couple, and how their
+// per-vehicle randomness is partitioned.
+type FleetSpec struct {
+	// N is the number of vehicles (>= 1).
+	N int `json:"n"`
+	// Coupling selects the shared-world coupling (default
+	// FleetCouplingNone): none | platoon.
+	Coupling string `json:"coupling,omitempty"`
+	// Spacing is the platoon's initial inter-vehicle gap in metres
+	// (0 = the control law's desired gap at the initial speed;
+	// platoon only).
+	Spacing float64 `json:"spacing,omitempty"`
+	// BrakeThreshold is the predecessor deceleration magnitude (m/s^2)
+	// beyond which its braking enters the follower's scene as extra
+	// obstacles (0 = default 2.5; platoon only).
+	BrakeThreshold float64 `json:"brake_threshold,omitempty"`
+	// BrakeObstacles is the obstacle-count bump a hard-braking
+	// predecessor adds to its follower's scene (0 = default 12;
+	// platoon only).
+	BrakeObstacles int `json:"brake_obstacles,omitempty"`
+	// VehicleSeeds pins each vehicle's seed explicitly; the length must
+	// equal N. Empty derives per-vehicle seeds from the run seed with a
+	// splitmix64 partition (internal/fleet.VehicleSeed).
+	VehicleSeeds []int64 `json:"vehicle_seeds,omitempty"`
 }
 
 // SpecLoad is one execution-time multiplier window.
@@ -217,6 +264,47 @@ func (s Spec) Normalize() (Spec, error) {
 			return s, fmt.Errorf("scenario: obstacles[%d].n must be >= 0, got %d", i, p.N)
 		}
 	}
+	if s.Fleet != nil {
+		// Copy before filling defaults so Normalize never mutates the
+		// caller's spec through the shared pointer.
+		f := *s.Fleet
+		if !caps.carFollow {
+			return s, fmt.Errorf("scenario: %s does not support a fleet block (car-following family only)", s.Scenario)
+		}
+		if f.N < 1 {
+			return s, fmt.Errorf("scenario: fleet.n must be >= 1, got %d", f.N)
+		}
+		if f.Coupling == "" {
+			f.Coupling = FleetCouplingNone
+		}
+		switch f.Coupling {
+		case FleetCouplingNone, FleetCouplingPlatoon:
+		default:
+			return s, fmt.Errorf("scenario: unknown fleet coupling %q (have %s)",
+				f.Coupling, strings.Join(FleetCouplings(), ", "))
+		}
+		for _, v := range []struct {
+			name string
+			v    float64
+		}{
+			{"fleet.spacing", f.Spacing},
+			{"fleet.brake_threshold", f.BrakeThreshold},
+		} {
+			if math.IsNaN(v.v) || math.IsInf(v.v, 0) || v.v < 0 {
+				return s, fmt.Errorf("scenario: %s must be a finite value >= 0, got %v", v.name, v.v)
+			}
+		}
+		if f.BrakeObstacles < 0 {
+			return s, fmt.Errorf("scenario: fleet.brake_obstacles must be >= 0, got %d", f.BrakeObstacles)
+		}
+		if f.Coupling == FleetCouplingNone && (f.Spacing != 0 || f.BrakeThreshold != 0 || f.BrakeObstacles != 0) {
+			return s, fmt.Errorf("scenario: fleet spacing/brake parameters require %q coupling", FleetCouplingPlatoon)
+		}
+		if len(f.VehicleSeeds) > 0 && len(f.VehicleSeeds) != f.N {
+			return s, fmt.Errorf("scenario: fleet.vehicle_seeds has %d entries for %d vehicles", len(f.VehicleSeeds), f.N)
+		}
+		s.Fleet = &f
+	}
 	return s, nil
 }
 
@@ -277,13 +365,79 @@ type SpecResult struct {
 	Rec   *trace.Recorder
 }
 
+// CarFollowingConfigFromSpec maps a car-following-family spec (carfollow,
+// hardware, jam, aeb) onto its scenario config. The spec is normalized
+// first; any fleet block is ignored — the fleet layer calls this to build
+// the per-vehicle template and then stamps per-vehicle seeds, coupling and
+// spacing on top.
+func CarFollowingConfigFromSpec(spec Spec) (CarFollowingConfig, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return CarFollowingConfig{}, err
+	}
+	scheme, err := ParseScheme(spec.Scheme)
+	if err != nil {
+		return CarFollowingConfig{}, err
+	}
+	cfg := CarFollowingConfig{Scheme: scheme, Seed: spec.Seed}
+	switch spec.Scenario {
+	case "carfollow":
+	case "hardware":
+		if cfg, err = HardwareCarFollowingConfig(scheme, spec.Seed); err != nil {
+			return CarFollowingConfig{}, err
+		}
+	case "jam":
+		if cfg, err = JamCarFollowingConfig(scheme, spec.Seed); err != nil {
+			return CarFollowingConfig{}, err
+		}
+	case "aeb":
+		if cfg, err = AEBCarFollowingConfig(scheme, spec.Seed); err != nil {
+			return CarFollowingConfig{}, err
+		}
+	default:
+		return CarFollowingConfig{}, fmt.Errorf("scenario: %s is not a car-following scenario", spec.Scenario)
+	}
+	if spec.Duration > 0 {
+		cfg.Duration = spec.Duration
+	}
+	if spec.NumProcs > 0 {
+		cfg.NumProcs = spec.NumProcs
+	}
+	if spec.VehicleStep > 0 {
+		cfg.VehicleStep = spec.VehicleStep
+	}
+	cfg.SampleRate = spec.SampleRate
+	cfg.MaxDataAge = spec.maxDataAge()
+	cfg.GammaCap = spec.GammaCap
+	if spec.DisableE2E {
+		cfg.DisableE2E = true
+	}
+	if spec.TrackGapError {
+		cfg.TrackGapError = true
+	}
+	cfg.Loads = append(cfg.Loads, spec.taskLoads()...)
+	if spec.RateOverrides != nil {
+		cfg.RateOverrides = spec.RateOverrides
+	}
+	if obs := spec.obstaclesFunc(); obs != nil {
+		cfg.Obstacles = obs
+	}
+	return cfg, nil
+}
+
 // RunSpec normalizes and executes one spec. All scenario families funnel
 // through here: the spec configures the shared kernel, the scenario picks
-// the plant, and the result carries a uniform rows+series shape.
+// the plant, and the result carries a uniform rows+series shape. Fleet
+// specs are the one exception — they are executed by internal/fleet (which
+// builds on this package), so RunSpec rejects them with a pointer to the
+// fleet runner.
 func RunSpec(spec Spec, tracer lifecycle.Tracer) (*SpecResult, error) {
 	spec, err := spec.Normalize()
 	if err != nil {
 		return nil, err
+	}
+	if spec.Fleet != nil {
+		return nil, fmt.Errorf("scenario: fleet specs are executed by the fleet runner (internal/fleet.RunSpec)")
 	}
 	scheme, err := ParseScheme(spec.Scheme)
 	if err != nil {
@@ -295,45 +449,9 @@ func RunSpec(spec Spec, tracer lifecycle.Tracer) (*SpecResult, error) {
 	}
 	switch spec.Scenario {
 	case "carfollow", "hardware", "jam", "aeb":
-		cfg := CarFollowingConfig{Scheme: scheme, Seed: spec.Seed}
-		switch spec.Scenario {
-		case "hardware":
-			if cfg, err = HardwareCarFollowingConfig(scheme, spec.Seed); err != nil {
-				return nil, err
-			}
-		case "jam":
-			if cfg, err = JamCarFollowingConfig(scheme, spec.Seed); err != nil {
-				return nil, err
-			}
-		case "aeb":
-			if cfg, err = AEBCarFollowingConfig(scheme, spec.Seed); err != nil {
-				return nil, err
-			}
-		}
-		if spec.Duration > 0 {
-			cfg.Duration = spec.Duration
-		}
-		if spec.NumProcs > 0 {
-			cfg.NumProcs = spec.NumProcs
-		}
-		if spec.VehicleStep > 0 {
-			cfg.VehicleStep = spec.VehicleStep
-		}
-		cfg.SampleRate = spec.SampleRate
-		cfg.MaxDataAge = spec.maxDataAge()
-		cfg.GammaCap = spec.GammaCap
-		if spec.DisableE2E {
-			cfg.DisableE2E = true
-		}
-		if spec.TrackGapError {
-			cfg.TrackGapError = true
-		}
-		cfg.Loads = append(cfg.Loads, spec.taskLoads()...)
-		if spec.RateOverrides != nil {
-			cfg.RateOverrides = spec.RateOverrides
-		}
-		if obs := spec.obstaclesFunc(); obs != nil {
-			cfg.Obstacles = obs
+		cfg, err := CarFollowingConfigFromSpec(spec)
+		if err != nil {
+			return nil, err
 		}
 		cfg.Tracer = tracer
 		r, err := RunCarFollowing(cfg)

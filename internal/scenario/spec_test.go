@@ -86,6 +86,18 @@ func TestSpecNormalizeErrors(t *testing.T) {
 		{"gamma_cap on motivation", Spec{Scenario: "motivation", GammaCap: 3}, "does not support"},
 		{"obstacles on motivation", Spec{Scenario: "motivation",
 			Obstacles: []ObstaclePhase{{T: 0, N: 5}}}, "obstacles"},
+		{"fleet outside family", Spec{Scenario: "lanekeep",
+			Fleet: &FleetSpec{N: 4}}, "fleet block"},
+		{"fleet zero vehicles", Spec{Scenario: "carfollow",
+			Fleet: &FleetSpec{N: 0}}, "fleet.n"},
+		{"fleet unknown coupling", Spec{Scenario: "carfollow",
+			Fleet: &FleetSpec{N: 4, Coupling: "v2x"}}, "unknown fleet coupling"},
+		{"fleet negative spacing", Spec{Scenario: "carfollow",
+			Fleet: &FleetSpec{N: 4, Coupling: FleetCouplingPlatoon, Spacing: -1}}, "fleet.spacing"},
+		{"fleet spacing without platoon", Spec{Scenario: "carfollow",
+			Fleet: &FleetSpec{N: 4, Spacing: 10}}, "require"},
+		{"fleet seed count mismatch", Spec{Scenario: "carfollow",
+			Fleet: &FleetSpec{N: 4, VehicleSeeds: []int64{1, 2}}}, "vehicle_seeds"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -178,6 +190,12 @@ func FuzzSpecJSON(f *testing.F) {
 	f.Add(`{"scenario": "aeb", "graph": "ad23", "track_gap_error": true}`)
 	f.Add(`{"scenario": "carfollow", "duration": -1}`)
 	f.Add(`{"scenario": "bogus"}`)
+	f.Add(`{"scenario": "carfollow", "fleet": {"n": 8}}`)
+	f.Add(`{"scenario": "carfollow", "fleet": {"n": 4, "coupling": "platoon", "spacing": 18, "brake_threshold": 2, "brake_obstacles": 14}}`)
+	f.Add(`{"scenario": "carfollow", "fleet": {"n": 2, "vehicle_seeds": [7, 9]}}`)
+	f.Add(`{"scenario": "carfollow", "fleet": {"n": 0}}`)
+	f.Add(`{"scenario": "lanekeep", "fleet": {"n": 4}}`)
+	f.Add(`{"scenario": "carfollow", "fleet": {"n": 4, "coupling": "v2x"}}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		spec, err := DecodeSpec(strings.NewReader(input))
 		if err != nil {

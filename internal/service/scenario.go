@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hcperf/internal/experiment"
+	"hcperf/internal/fleet"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/scenario"
 )
@@ -47,7 +48,7 @@ func runScenario(req RunRequest) (*RunResult, error) {
 		tracer = ring
 	}
 
-	r, err := scenario.RunSpec(spec, tracer)
+	r, err := fleet.RunSpec(spec, tracer)
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,50 @@ func TestSpecRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFleetSpecRunEndToEnd drives a coupled fleet spec through the full
+// service path: POST, poll, report rows, and a cache hit on resubmission —
+// fleet runs flow through the content-addressed cache like any other spec.
+func TestFleetSpecRunEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2, QueueSize: 8})
+
+	body := `{"spec": {
+		"name": "mini-platoon",
+		"scenario": "carfollow",
+		"scheme": "hcperf",
+		"duration": 4,
+		"fleet": {"n": 6, "coupling": "platoon", "spacing": 18}
+	}}`
+	code, st, _ := postRun(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("fleet spec POST = %d, want 202", code)
+	}
+	job, _ := srv.Manager().Job(st.ID)
+	<-job.Done()
+
+	var got runStatus
+	getJSON(t, ts.URL+"/v1/runs/"+st.ID, &got)
+	if got.State != StateDone || got.Report == nil {
+		t.Fatalf("fleet run status = %+v, want done report", got)
+	}
+	if got.Report.ID != "spec-mini-platoon" {
+		t.Errorf("report ID = %q, want spec-mini-platoon", got.Report.ID)
+	}
+	found := false
+	for _, row := range got.Report.Rows {
+		if row[0] == "fleet size" && row[1] == "6" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("report rows missing fleet size: %v", got.Report.Rows)
+	}
+
+	code, st2, _ := postRun(t, ts, body)
+	if code != http.StatusOK || !st2.Cached || st2.ID != st.ID {
+		t.Fatalf("fleet resubmit = (%d, cached=%t, id=%s), want 200 cached %s", code, st2.Cached, st2.ID, st.ID)
+	}
+}
+
 // TestSpecRequestValidation exercises every rejection path for inline
 // specs: each must return 400 with the uniform JSON error body.
 func TestSpecRequestValidation(t *testing.T) {
@@ -75,6 +119,11 @@ func TestSpecRequestValidation(t *testing.T) {
 		"negative duration":      `{"spec": {"scenario": "carfollow", "duration": -1}}`,
 		"unsupported capability": `{"spec": {"scenario": "motivation", "gamma_cap": 2}}`,
 		"unknown spec field":     `{"spec": {"scenario": "carfollow", "bogus": 1}}`,
+		"fleet zero vehicles":    `{"spec": {"scenario": "carfollow", "fleet": {"n": 0}}}`,
+		"fleet unknown coupling": `{"spec": {"scenario": "carfollow", "fleet": {"n": 4, "coupling": "v2x"}}}`,
+		"fleet negative spacing": `{"spec": {"scenario": "carfollow", "fleet": {"n": 4, "coupling": "platoon", "spacing": -1}}}`,
+		"fleet outside family":   `{"spec": {"scenario": "lanekeep", "fleet": {"n": 4}}}`,
+		"fleet seed mismatch":    `{"spec": {"scenario": "carfollow", "fleet": {"n": 4, "vehicle_seeds": [1, 2]}}}`,
 	} {
 		t.Run(name, func(t *testing.T) {
 			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
