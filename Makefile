@@ -19,6 +19,10 @@ RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
 BENCHTIME ?= 10ms
 # Where bench-check writes the fresh run (CI uploads it as an artifact).
 BENCH_OUT ?= bench_fresh.json
+# Extra hcperf-bench flags for bench-check; CI passes
+# "-cpuprofile bench_cpu.pprof -memprofile bench_heap.pprof" so kernel
+# regressions are diagnosable from the uploaded profiles.
+BENCH_FLAGS ?=
 
 ## ci: the tier-1 gate — vet, build, full test suite, then the race pass.
 ci: vet build test race
@@ -51,7 +55,7 @@ bench-json:
 ## BENCH_baseline.json; non-zero exit on regression (>25% allocs/op or
 ## >40% ns/op by default). The fresh run is written to $(BENCH_OUT).
 bench-check:
-	$(GO) run ./cmd/hcperf-bench -check BENCH_baseline.json -benchtime $(BENCHTIME) -out $(BENCH_OUT)
+	$(GO) run ./cmd/hcperf-bench -check BENCH_baseline.json -benchtime $(BENCHTIME) -out $(BENCH_OUT) $(BENCH_FLAGS)
 
 ## bench-update: regenerate BENCH_baseline.json. Refuses to run with a
 ## dirty working tree so the new baseline can only reflect committed code.
@@ -60,11 +64,13 @@ bench-update:
 		{ echo "bench-update: working tree dirty; commit or stash first" >&2; exit 1; }
 	$(GO) run ./cmd/hcperf-bench -json -benchtime $(BENCHTIME) -out BENCH_baseline.json
 
-## fuzz: short fuzz passes — Hungarian solver vs brute force, and the
-## scenario-spec JSON decode/validate/re-encode round trip.
+## fuzz: short fuzz passes — Hungarian solver vs brute force, the
+## scenario-spec JSON decode/validate/re-encode round trip, and the
+## heap-vs-wheel event-scheduler differential (identical firing sequences).
 fuzz:
 	$(GO) test -fuzz=FuzzHungarian -fuzztime=10s ./internal/hungarian/
 	$(GO) test -fuzz=FuzzSpecJSON -fuzztime=10s ./internal/scenario/
+	$(GO) test -fuzz=FuzzSchedulerEquivalence -fuzztime=10s ./internal/simtime/
 
 ## suite: run every experiment once, fanned across GOMAXPROCS workers.
 suite:

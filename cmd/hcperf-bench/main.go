@@ -15,6 +15,8 @@
 //	hcperf-bench -list
 //	hcperf-bench -json [-benchtime 100x] [-out BENCH_baseline.json]
 //	hcperf-bench -check BENCH_baseline.json [-benchtime 100x] [-out fresh.json]
+//	hcperf-bench -check BENCH_baseline.json -cpuprofile cpu.pprof -memprofile heap.pprof
+//	hcperf-bench -replicas 8    # batch multi-seed sweeps, 8 per shared queue
 package main
 
 import (
@@ -23,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hcperf/internal/experiment"
 	"hcperf/internal/perf"
@@ -40,6 +44,7 @@ func main() {
 		csv      = flag.String("csv", "", "directory for CSV export of series and rows")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", 1, "worker count: N>=1 workers, 0 = GOMAXPROCS")
+		replicas = flag.Int("replicas", 1, "sweep batch width: K>=2 advances K multi-seed replicas in lockstep per shared event queue")
 
 		jsonOut   = flag.Bool("json", false, "run the perf benchmark suite and emit a JSON baseline")
 		check     = flag.String("check", "", "baseline JSON file to compare a fresh suite run against")
@@ -48,16 +53,25 @@ func main() {
 		repeat    = flag.Int("repeat", 3, "suite repetitions; per-benchmark minimum ns/op is kept (noise robustness)")
 		maxNs     = flag.Float64("max-ns-regress", perf.DefaultThresholds().NsPerOp, "max tolerated relative ns/op regression")
 		maxAllocs = flag.Float64("max-allocs-regress", perf.DefaultThresholds().AllocsPerOp, "max tolerated relative allocs/op regression")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU pprof profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a heap pprof profile at exit to this file")
 	)
 	flag.Parse()
-	var err error
+	stopProf, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcperf-bench:", err)
+		os.Exit(1)
+	}
 	switch {
 	case *jsonOut:
 		err = runJSON(*benchtime, *repeat, *out)
 	case *check != "":
 		err = runCheck(*check, *benchtime, *repeat, *out, perf.Thresholds{NsPerOp: *maxNs, AllocsPerOp: *maxAllocs})
 	default:
-		err = run(*exp, *seed, *csv, *list, *parallel)
+		err = run(*exp, *seed, *csv, *list, *parallel, *replicas)
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		if !errors.Is(err, errRegression) {
@@ -115,7 +129,43 @@ func runCheck(checkPath, benchtime string, repeat int, outPath string, th perf.T
 	return nil
 }
 
-func run(exp string, seed int64, csvDir string, list bool, parallel int) error {
+// startProfiles starts CPU profiling and arranges a heap snapshot at stop,
+// for the paths the CI bench-gate diagnoses from artifacts. The returned
+// stop function is safe to call once, with both paths optional.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		if cpuFile, err = os.Create(cpuPath); err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+func run(exp string, seed int64, csvDir string, list bool, parallel, replicas int) error {
 	if list {
 		for _, info := range experiment.List() {
 			fmt.Printf("%-16s %s\n", info.ID, info.Title)
@@ -123,6 +173,7 @@ func run(exp string, seed int64, csvDir string, list bool, parallel int) error {
 		return nil
 	}
 	experiment.SetParallelism(parallel)
+	experiment.SetReplicas(replicas)
 	ids := experiment.IDs()
 	if exp != "" {
 		ids = []string{exp}

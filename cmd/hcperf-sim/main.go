@@ -15,6 +15,7 @@
 //	hcperf-sim -spec examples/specs/fusion-overload.json  # declarative spec
 //	hcperf-sim -mode rt -duration 5 -scheme hcperf     # wall-clock executor
 //	hcperf-sim -mode suite -parallel 4                 # full experiment suite
+//	hcperf-sim -mode suite -replicas 8                 # batched multi-seed sweeps
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		specPath     = flag.String("spec", "", "run a declarative scenario spec from this JSON file (overrides -scenario/-scheme/-seed/-duration)")
 		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite)")
 		parallel     = flag.Int("parallel", 1, "suite worker count: N>=1 workers, 0 = GOMAXPROCS")
+		replicas     = flag.Int("replicas", 1, "suite sweep batch width: K>=2 advances K multi-seed replicas in lockstep per shared event queue")
 		showVersion  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
@@ -55,7 +57,7 @@ func main() {
 		fmt.Println(version.Get())
 		return
 	}
-	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *specPath, *mode, *parallel); err != nil {
+	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *specPath, *mode, *parallel, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
 		os.Exit(1)
 	}
@@ -112,7 +114,7 @@ func writeTrace(tracePath string, ring *lifecycle.Ring) error {
 	return nil
 }
 
-func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, tracePath, specPath, mode string, parallel int) error {
+func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, tracePath, specPath, mode string, parallel, replicas int) error {
 	if mode == "suite" || mode == "experiments" {
 		if tracePath != "" {
 			return fmt.Errorf("-trace is not supported in suite mode")
@@ -120,7 +122,10 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 		if specPath != "" {
 			return fmt.Errorf("-spec is not supported in suite mode")
 		}
-		return runSuite(seed, parallel)
+		return runSuite(seed, parallel, replicas)
+	}
+	if replicas > 1 {
+		return fmt.Errorf("-replicas applies to suite mode only")
 	}
 	ring, err := newTraceRing(tracePath)
 	if err != nil {
@@ -202,8 +207,9 @@ func run(scenarioName, schemeName string, seed int64, duration float64, csvPath,
 // so -parallel N engages the whole machine while the reports stay in
 // deterministic registry order (and, by the determinism harness, stay
 // byte-identical to a serial run).
-func runSuite(seed int64, parallel int) error {
+func runSuite(seed int64, parallel, replicas int) error {
 	experiment.SetParallelism(parallel)
+	experiment.SetReplicas(replicas)
 	list := experiment.List()
 	fmt.Printf("suite: %d experiments (%s..%s)\n", len(list), list[0].ID, list[len(list)-1].ID)
 	start := time.Now()

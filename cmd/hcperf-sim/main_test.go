@@ -41,7 +41,7 @@ func TestRunScenariosShort(t *testing.T) {
 	for _, sc := range []string{"carfollow", "lanekeep", "motivation", "hardware", "jam", "combined"} {
 		t.Run(sc, func(t *testing.T) {
 			dur := 5.0
-			if err := run(sc, "edf", 1, dur, "", "", "", "sim", 1); err != nil {
+			if err := run(sc, "edf", 1, dur, "", "", "", "sim", 1, 1); err != nil {
 				t.Fatalf("run(%s): %v", sc, err)
 			}
 		})
@@ -50,7 +50,7 @@ func TestRunScenariosShort(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "hcperf", 1, 5, path, "", "", "sim", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 5, path, "", "", "sim", 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -64,7 +64,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunWritesChromeTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.json")
-	if err := run("carfollow", "hcperf", 1, 5, "", path, "", "sim", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 5, "", path, "", "sim", 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -96,7 +96,7 @@ func TestRunWritesChromeTrace(t *testing.T) {
 
 func TestRunWritesTraceCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "edf", 1, 5, "", path, "", "sim", 1); err != nil {
+	if err := run("carfollow", "edf", 1, 5, "", path, "", "sim", 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -119,19 +119,19 @@ func TestRunSuiteParallel(t *testing.T) {
 	// The suite must complete through the worker pool with multiple
 	// workers; determinism vs the serial run is enforced separately in
 	// internal/runner's harness tests.
-	if err := run("", "", 1, 0, "", "", "", "suite", 4); err != nil {
+	if err := run("", "", 1, 0, "", "", "", "suite", 4, 1); err != nil {
 		t.Fatalf("suite run: %v", err)
 	}
 }
 
 func TestRunRejectsInvalid(t *testing.T) {
-	if err := run("bogus", "edf", 1, 0, "", "", "", "sim", 1); err == nil {
+	if err := run("bogus", "edf", 1, 0, "", "", "", "sim", 1, 1); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("carfollow", "bogus", 1, 0, "", "", "", "sim", 1); err == nil {
+	if err := run("carfollow", "bogus", 1, 0, "", "", "", "sim", 1, 1); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("carfollow", "edf", 1, 0, "", "", "", "bogus", 1); err == nil {
+	if err := run("carfollow", "edf", 1, 0, "", "", "", "bogus", 1, 1); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
@@ -150,7 +150,7 @@ func TestRunSpecFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	csvPath := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1); err != nil {
+	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1, 1); err != nil {
 		t.Fatalf("run -spec: %v", err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -177,7 +177,7 @@ func TestRunFleetSpecFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	csvPath := filepath.Join(t.TempDir(), "fleet.csv")
-	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1); err != nil {
+	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1, 1); err != nil {
 		t.Fatalf("run -spec fleet: %v", err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -213,7 +213,7 @@ func TestRunSpecFileRejectsInvalid(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			err := run("", "", 0, 0, "", "", path, "sim", 1)
+			err := run("", "", 0, 0, "", "", path, "sim", 1, 1)
 			if err == nil {
 				t.Fatal("invalid spec accepted")
 			}
@@ -226,7 +226,7 @@ func TestRunSpecFileRejectsInvalid(t *testing.T) {
 
 func TestRunSpecRejectedOutsideSimMode(t *testing.T) {
 	for _, mode := range []string{"suite", "rt"} {
-		if err := run("", "", 0, 0, "", "", "spec.json", mode, 1); err == nil {
+		if err := run("", "", 0, 0, "", "", "spec.json", mode, 1, 1); err == nil {
 			t.Errorf("-spec accepted in %s mode", mode)
 		}
 	}
@@ -236,10 +236,10 @@ func TestRunWallClockBriefly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock run")
 	}
-	if err := run("carfollow", "hcperf", 1, 2, "", "", "", "rt", 1); err != nil {
+	if err := run("carfollow", "hcperf", 1, 2, "", "", "", "rt", 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("carfollow", "edf", 1, 2, "", "", "", "rt", 1); err != nil {
+	if err := run("carfollow", "edf", 1, 2, "", "", "", "rt", 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }

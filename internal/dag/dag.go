@@ -15,7 +15,6 @@ package dag
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
 	"hcperf/internal/exectime"
@@ -272,11 +271,15 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("dag: source task %q needs a positive rate", t.Name)
 		}
 	}
-	topo, err := g.computeTopo()
-	if err != nil {
-		return err
+	if g.topo == nil {
+		// Acyclicity only changes through AddTask/AddEdge, which clear the
+		// cache; a cached order proves the structure is still a DAG.
+		topo, err := g.computeTopo()
+		if err != nil {
+			return err
+		}
+		g.topo = topo
 	}
-	g.topo = topo
 	return nil
 }
 
@@ -308,9 +311,17 @@ func (g *Graph) computeTopo() ([]TaskID, error) {
 	}
 	order := make([]TaskID, 0, n)
 	for len(ready) > 0 {
-		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
-		id := ready[0]
-		ready = ready[1:]
+		// Extract the lowest ready ID (same deterministic order a sort
+		// would give, without sorting the whole frontier every round).
+		mi := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[mi] {
+				mi = i
+			}
+		}
+		id := ready[mi]
+		ready[mi] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
 		order = append(order, id)
 		for _, s := range g.succ[id] {
 			indeg[s]--

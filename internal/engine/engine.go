@@ -75,6 +75,12 @@ type processor struct {
 	busyUntil simtime.Time
 	running   *sched.Job
 	busyTotal simtime.Duration
+	// actual is the sampled execution time of the running job; complete is
+	// the processor's completion callback, bound once at construction.
+	// Dispatch is non-preemptive, so a processor has at most one completion
+	// in flight and the pair can be reused for every job it runs.
+	actual   simtime.Duration
+	complete func(at simtime.Time)
 }
 
 // Engine executes a task graph under a scheduling policy on virtual time.
@@ -180,6 +186,15 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e.k = k
+	for p := range e.procs {
+		p := p
+		e.procs[p].complete = func(at simtime.Time) {
+			pr := &e.procs[p]
+			j := pr.running
+			pr.running = nil
+			e.k.Complete(at, p, j, pr.actual)
+		}
+	}
 	return e, nil
 }
 
@@ -343,15 +358,14 @@ func (e *Engine) dispatch(now simtime.Time) {
 func (e *Engine) run(now simtime.Time, p int, j *sched.Job) {
 	actual := e.k.SampleExec(now, j.Task)
 	finish := now + actual
-	e.procs[p].busyUntil = finish
-	e.procs[p].running = j
-	e.procs[p].busyTotal += actual
+	pr := &e.procs[p]
+	pr.busyUntil = finish
+	pr.running = j
+	pr.busyTotal += actual
+	pr.actual = actual
 	// Completion events always run in the future relative to now, so
 	// Schedule cannot fail.
-	if _, err := e.q.Schedule(finish, func(at simtime.Time) {
-		e.procs[p].running = nil
-		e.k.Complete(at, p, j, actual)
-	}); err != nil {
+	if _, err := e.q.Schedule(finish, pr.complete); err != nil {
 		panic(fmt.Sprintf("engine: schedule completion: %v", err))
 	}
 }

@@ -216,26 +216,21 @@ func SweepProcs(seed int64) (*Report, error) {
 func ExtAEB(seed int64) (*Report, error) {
 	const runs = 8 // single-event margins are command-phase sensitive
 	// Fan out the full scheme × seed grid: all 40 runs are independent, so
-	// the pool chews through them in any order while the aggregation below
-	// walks the grid in input order.
-	type cell struct {
-		s scenario.Scheme
-		k int64
-	}
+	// the pool chews through them in any order — Replicas() of them in
+	// lockstep per shared queue — while the aggregation below walks the
+	// grid in input order.
 	schemes := scenario.AllSchemes()
-	var grid []cell
+	var grid []scenario.CarFollowingConfig
 	for _, s := range schemes {
 		for k := int64(0); k < runs; k++ {
-			grid = append(grid, cell{s: s, k: k})
+			cfg, err := scenario.AEBCarFollowingConfig(s, seed+k)
+			if err != nil {
+				return nil, err
+			}
+			grid = append(grid, cfg)
 		}
 	}
-	results, err := sweep(grid, func(c cell) (*scenario.CarFollowingResult, error) {
-		cfg, err := scenario.AEBCarFollowingConfig(c.s, seed+c.k)
-		if err != nil {
-			return nil, err
-		}
-		return scenario.RunCarFollowing(cfg)
-	})
+	results, err := sweepCarFollowing(grid)
 	if err != nil {
 		return nil, err
 	}

@@ -19,22 +19,21 @@ func fmtF(v float64, decimals int) string {
 }
 
 // runCarFollowingSweep runs all five schemes of a car-following variant,
-// fanning the independent runs out across the sweep worker pool. Each run
-// owns its RNGs, task graph and recorder, so the map assembled afterwards is
-// identical to the one a serial loop builds.
+// fanning the independent runs out across the sweep worker pool — batched
+// Replicas() at a time onto shared event queues (see sweepCarFollowing).
+// Each run owns its RNGs, task graph and recorder, so the map assembled
+// afterwards is identical to the one a serial loop builds.
 func runCarFollowingSweep(seed int64, build func(scenario.Scheme) (scenario.CarFollowingConfig, error)) (map[scenario.Scheme]*scenario.CarFollowingResult, error) {
 	schemes := scenario.AllSchemes()
-	results, err := sweep(schemes, func(s scenario.Scheme) (*scenario.CarFollowingResult, error) {
+	cfgs := make([]scenario.CarFollowingConfig, len(schemes))
+	for i, s := range schemes {
 		cfg, err := build(s)
 		if err != nil {
 			return nil, err
 		}
-		r, err := scenario.RunCarFollowing(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %v: %w", s, err)
-		}
-		return r, nil
-	})
+		cfgs[i] = cfg
+	}
+	results, err := sweepCarFollowing(cfgs)
 	if err != nil {
 		return nil, err
 	}

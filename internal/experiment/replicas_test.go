@@ -1,0 +1,47 @@
+package experiment
+
+import "testing"
+
+// TestReplicasKnob pins the SetReplicas/Replicas resolution rules.
+func TestReplicasKnob(t *testing.T) {
+	defer SetReplicas(1)
+	if got := Replicas(); got != 1 {
+		t.Fatalf("default replicas = %d, want 1", got)
+	}
+	SetReplicas(8)
+	if got := Replicas(); got != 8 {
+		t.Fatalf("after SetReplicas(8): %d", got)
+	}
+	SetReplicas(0)
+	if got := Replicas(); got != 1 {
+		t.Fatalf("after SetReplicas(0): %d, want 1", got)
+	}
+}
+
+// TestReplicasDeterminism is the batched multi-seed mode's acceptance test:
+// the ext-aeb experiment — a 5-scheme × 8-seed car-following sweep — must
+// produce a byte-identical report whether its runs each own a private event
+// queue (replicas=1, the golden-pinned reference) or advance four replicas
+// in lockstep per shared queue (replicas=4). Batching is an execution
+// strategy, never an observable behaviour change.
+func TestReplicasDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2x40-run sweep")
+	}
+	digest := func(k int) string {
+		SetReplicas(k)
+		defer SetReplicas(1)
+		rep, err := ExtAEB(1)
+		if err != nil {
+			t.Fatalf("replicas=%d: %v", k, err)
+		}
+		d, err := rep.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if ref, batched := digest(1), digest(4); ref != batched {
+		t.Errorf("ext-aeb digest diverged under batching: replicas=1 %s != replicas=4 %s", ref, batched)
+	}
+}

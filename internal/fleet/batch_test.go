@@ -1,0 +1,60 @@
+package fleet_test
+
+import (
+	"strings"
+	"testing"
+
+	"hcperf/internal/fleet"
+	"hcperf/internal/scenario"
+)
+
+// TestRunBatchEqualsIndividualRuns pins the batched multi-seed mode's core
+// invariant: K replicas advanced in lockstep on one shared event queue
+// produce byte-identical histories and bit-identical summary stats to K
+// fully independent RunCarFollowing calls. This is what lets the sweep
+// layer batch seeds transparently.
+func TestRunBatchEqualsIndividualRuns(t *testing.T) {
+	cfgs := []scenario.CarFollowingConfig{
+		{Scheme: scenario.SchemeHCPerf, Seed: 11, Duration: 5},
+		{Scheme: scenario.SchemeEDF, Seed: 22, Duration: 5},
+		{Scheme: scenario.SchemeHCPerf, Seed: 33, Duration: 5},
+	}
+	batched, err := fleet.RunBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(cfgs) {
+		t.Fatalf("batch returned %d results for %d configs", len(batched), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		single, err := scenario.RunCarFollowing(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := batched[i]
+		if got, want := recDigest(t, b.Rec), recDigest(t, single.Rec); got != want {
+			t.Errorf("replica %d (scheme %v seed %d): batched series digest %s != independent run %s",
+				i, cfg.Scheme, cfg.Seed, got, want)
+		}
+		if b.SpeedErrRMS != single.SpeedErrRMS || b.DistErrRMS != single.DistErrRMS ||
+			b.Throughput != single.Throughput || b.MeanResponse != single.MeanResponse ||
+			b.Collision != single.Collision {
+			t.Errorf("replica %d: batched stats diverge from independent run", i)
+		}
+	}
+}
+
+// TestRunBatchValidation covers the batch-shape errors: an empty batch and
+// replicas that resolve to different durations (lockstep needs one horizon).
+func TestRunBatchValidation(t *testing.T) {
+	if _, err := fleet.RunBatch(nil); err == nil {
+		t.Error("empty batch: want error, got nil")
+	}
+	_, err := fleet.RunBatch([]scenario.CarFollowingConfig{
+		{Scheme: scenario.SchemeHCPerf, Seed: 1, Duration: 5},
+		{Scheme: scenario.SchemeHCPerf, Seed: 2, Duration: 10},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Errorf("mismatched durations: want duration error, got %v", err)
+	}
+}

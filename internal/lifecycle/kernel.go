@@ -62,11 +62,6 @@ type Config struct {
 	Tracer Tracer
 }
 
-// edgeKey identifies one precedence edge.
-type edgeKey struct {
-	from, to dag.TaskID
-}
-
 // edgeData is the latest-value channel state of one precedence edge.
 type edgeData struct {
 	// fresh marks unconsumed data (meaningful on primary edges).
@@ -95,8 +90,27 @@ type Kernel struct {
 	onDecided func(now simtime.Time, j *sched.Job, missed bool)
 	tracer    Tracer
 
-	ready    []*sched.Job
-	edges    map[edgeKey]*edgeData
+	// jobs allocates every job record this kernel creates; records are
+	// freed back to the arena the moment their outcome is decided and the
+	// last observer has run, so steady-state execution allocates no job
+	// garbage. purged is PurgeExpired's reusable scratch for jobs whose
+	// release must outlive the queue-change notification.
+	jobs   sched.JobArena
+	purged []*sched.Job
+	// freeDeliveries recycles the capture-delivery records (and their bound
+	// callbacks) SourceFired hands to Backend.DeliverAfter.
+	freeDeliveries []*delivery
+
+	ready []*sched.Job
+	// succs/preds cache the graph adjacency per task: dag.Graph accessors
+	// return defensive copies, far too expensive for every Propagate.
+	succs [][]dag.TaskID
+	preds [][]dag.TaskID
+	// outEdges[id][i] is the channel state of edge id→succs[id][i];
+	// inEdges[id][i] of edge preds[id][i]→id. Both views alias one dense
+	// store, so edge lookups on the propagation hot path are slice walks.
+	outEdges [][]*edgeData
+	inEdges  [][]*edgeData
 	observed []simtime.Duration // c_i per task: last observed execution time
 	cycles   []uint64           // per-task release counter
 	rates    []float64          // current rate per task (sources only)
@@ -138,19 +152,43 @@ func NewKernel(cfg Config, b Backend) (*Kernel, error) {
 		onCmd:     cfg.OnControl,
 		onDecided: cfg.OnJobDecided,
 		tracer:    cfg.Tracer,
-		edges:     make(map[edgeKey]*edgeData),
 		observed:  make([]simtime.Duration, n),
 		cycles:    make([]uint64, n),
 		rates:     make([]float64, n),
 		perTask:   make([]TaskStats, n),
 		maxAge:    cfg.MaxDataAge,
 	}
+	k.succs = make([][]dag.TaskID, n)
+	k.preds = make([][]dag.TaskID, n)
+	k.outEdges = make([][]*edgeData, n)
+	k.inEdges = make([][]*edgeData, n)
+	edgeCount := 0
 	for _, t := range cfg.Graph.Tasks() {
 		k.observed[t.ID] = t.Exec.Nominal()
 		k.rates[t.ID] = t.Rate
-		for _, s := range cfg.Graph.Successors(t.ID) {
-			k.edges[edgeKey{from: t.ID, to: s}] = &edgeData{}
+		k.succs[t.ID] = cfg.Graph.Successors(t.ID)
+		k.preds[t.ID] = cfg.Graph.Predecessors(t.ID)
+		edgeCount += len(k.succs[t.ID])
+	}
+	store := make([]edgeData, edgeCount)
+	next := 0
+	byEdge := make(map[[2]dag.TaskID]*edgeData, edgeCount)
+	for id := range k.succs {
+		out := make([]*edgeData, len(k.succs[id]))
+		for i, s := range k.succs[id] {
+			ed := &store[next]
+			next++
+			out[i] = ed
+			byEdge[[2]dag.TaskID{dag.TaskID(id), s}] = ed
 		}
+		k.outEdges[id] = out
+	}
+	for id := range k.preds {
+		in := make([]*edgeData, len(k.preds[id]))
+		for i, p := range k.preds[id] {
+			in[i] = byEdge[[2]dag.TaskID{p, dag.TaskID(id)}]
+		}
+		k.inEdges[id] = in
 	}
 	if obs, ok := cfg.Scheduler.(QueueObserver); ok {
 		k.observer = obs
@@ -162,7 +200,7 @@ func NewKernel(cfg Config, b Backend) (*Kernel, error) {
 	k.budgets = make([]simtime.Duration, n)
 	for _, id := range topo {
 		var longest simtime.Duration
-		for _, p := range cfg.Graph.Predecessors(id) {
+		for _, p := range k.preds[id] {
 			if k.budgets[p] > longest {
 				longest = k.budgets[p]
 			}
@@ -275,6 +313,14 @@ func (k *Kernel) trace(ev Event) {
 	}
 }
 
+// traceJob emits a job lifecycle event, building the Event only when a
+// tracer is configured — the event construction is pure overhead otherwise.
+func (k *Kernel) traceJob(kind EventKind, now simtime.Time, j *sched.Job, proc int) {
+	if k.tracer != nil {
+		k.tracer.Trace(jobEvent(kind, now, j, proc))
+	}
+}
+
 // jobEvent builds the common fields of a lifecycle event for job j.
 func jobEvent(kind EventKind, now simtime.Time, j *sched.Job, proc int) Event {
 	return Event{
@@ -296,22 +342,54 @@ func jobEvent(kind EventKind, now simtime.Time, j *sched.Job, proc int) Event {
 func (k *Kernel) SourceFired(now simtime.Time, id dag.TaskID) {
 	t := k.graph.Task(id)
 	k.cycles[id]++
-	j := &sched.Job{
-		Task:        t,
-		Cycle:       k.cycles[id],
-		Release:     now,
-		AbsDeadline: now + t.RelDeadline,
-		EstExec:     k.observed[id],
-		SourceTime:  now,
-	}
+	j := k.jobs.New()
+	j.Task = t
+	j.Cycle = k.cycles[id]
+	j.Release = now
+	j.AbsDeadline = now + t.RelDeadline
+	j.EstExec = k.observed[id]
+	j.SourceTime = now
 	k.total.Released++
 	k.window.Released++
 	k.perTask[id].Released++
-	k.trace(jobEvent(EventRelease, now, j, -1))
+	k.traceJob(EventRelease, now, j, -1)
 	actual := k.SampleExec(now, t)
-	k.b.DeliverAfter(now, actual, func(at simtime.Time) {
-		k.deliverSource(at, j, actual)
-	})
+	d := k.newDelivery()
+	d.j = j
+	d.actual = actual
+	k.b.DeliverAfter(now, actual, d.run)
+}
+
+// delivery carries one in-flight source capture from SourceFired to
+// deliverSource. The callback handed to Backend.DeliverAfter is bound to the
+// record once, so recycling records through freeDeliveries makes the capture
+// path closure-allocation-free.
+type delivery struct {
+	k      *Kernel
+	j      *sched.Job
+	actual simtime.Duration
+	run    func(at simtime.Time)
+}
+
+// newDelivery takes a delivery record off the freelist, or builds one with
+// its bound callback. The callback returns the record to the freelist before
+// delivering, and runs in the backend's execution context like every other
+// kernel entry point.
+func (k *Kernel) newDelivery() *delivery {
+	if n := len(k.freeDeliveries); n > 0 {
+		d := k.freeDeliveries[n-1]
+		k.freeDeliveries[n-1] = nil
+		k.freeDeliveries = k.freeDeliveries[:n-1]
+		return d
+	}
+	d := &delivery{k: k}
+	d.run = func(at simtime.Time) {
+		j, actual := d.j, d.actual
+		d.j = nil
+		d.k.freeDeliveries = append(d.k.freeDeliveries, d)
+		d.k.deliverSource(at, j, actual)
+	}
+	return d
 }
 
 // deliverSource finalises a capture: the source job completes on time and
@@ -323,12 +401,14 @@ func (k *Kernel) deliverSource(now simtime.Time, j *sched.Job, actual simtime.Du
 	k.total.Completed++
 	k.window.Completed++
 	k.perTask[id].Completed++
-	k.trace(jobEvent(EventDeliver, now, j, -1))
+	k.traceJob(EventDeliver, now, j, -1)
 	if k.onDecided != nil {
 		k.onDecided(now, j, false)
 	}
 	k.Propagate(now, j)
 	k.b.Wake(now)
+	// Outcome decided and every observer has run: the record can be reused.
+	k.jobs.Free(j)
 }
 
 // release creates a job for data-triggered task id, appends it to the
@@ -345,19 +425,18 @@ func (k *Kernel) release(now simtime.Time, id dag.TaskID, sourceTime simtime.Tim
 			deadline = e2e
 		}
 	}
-	j := &sched.Job{
-		Task:        t,
-		Cycle:       k.cycles[id],
-		Release:     now,
-		AbsDeadline: deadline,
-		EstExec:     k.observed[id],
-		SourceTime:  sourceTime,
-	}
+	j := k.jobs.New()
+	j.Task = t
+	j.Cycle = k.cycles[id]
+	j.Release = now
+	j.AbsDeadline = deadline
+	j.EstExec = k.observed[id]
+	j.SourceTime = sourceTime
 	k.ready = append(k.ready, j)
 	k.total.Released++
 	k.window.Released++
 	k.perTask[id].Released++
-	k.trace(jobEvent(EventRelease, now, j, -1))
+	k.traceJob(EventRelease, now, j, -1)
 	k.queueChanged(now)
 	k.b.Wake(now)
 }
@@ -366,7 +445,7 @@ func (k *Kernel) release(now simtime.Time, id dag.TaskID, sourceTime simtime.Tim
 // can no longer produce valid output.
 func (k *Kernel) PurgeExpired(now simtime.Time) {
 	kept := k.ready[:0]
-	changed := false
+	k.purged = k.purged[:0]
 	for _, j := range k.ready {
 		if j.AbsDeadline <= now {
 			id := j.Task.ID
@@ -382,18 +461,25 @@ func (k *Kernel) PurgeExpired(now simtime.Time) {
 				k.window.E2EDecided++
 				k.window.E2EMissed++
 			}
-			k.trace(jobEvent(EventExpire, now, j, -1))
+			k.traceJob(EventExpire, now, j, -1)
 			if k.onDecided != nil {
 				k.onDecided(now, j, true)
 			}
-			changed = true
+			k.purged = append(k.purged, j)
 			continue
 		}
 		kept = append(kept, j)
 	}
 	k.ready = kept
-	if changed {
+	if len(k.purged) > 0 {
+		// Notify the observer before freeing: a queue-observing scheduler
+		// rebuilds its view from the surviving queue here, dropping any
+		// internal references to the purged records.
 		k.queueChanged(now)
+		for i, j := range k.purged {
+			k.jobs.Free(j)
+			k.purged[i] = nil
+		}
 	}
 }
 
@@ -410,7 +496,7 @@ func (k *Kernel) Next(now simtime.Time, proc int) *sched.Job {
 	}
 	j := k.ready[idx]
 	k.ready = append(k.ready[:idx], k.ready[idx+1:]...)
-	k.trace(jobEvent(EventDispatch, now, j, proc))
+	k.traceJob(EventDispatch, now, j, proc)
 	return j
 }
 
@@ -438,16 +524,19 @@ func (k *Kernel) Complete(now simtime.Time, proc int, j *sched.Job, actual simti
 		k.total.Missed++
 		k.window.Missed++
 		k.perTask[id].Missed++
-		k.trace(jobEvent(EventMiss, now, j, proc))
+		k.traceJob(EventMiss, now, j, proc)
 	} else {
 		k.total.Completed++
 		k.window.Completed++
 		k.perTask[id].Completed++
-		k.trace(jobEvent(EventComplete, now, j, proc))
+		k.traceJob(EventComplete, now, j, proc)
 		k.Propagate(now, j)
 	}
 	k.queueChanged(now)
 	k.b.Wake(now)
+	// The backend dropped its reference before calling Complete, and all
+	// observers above run synchronously: the record can be reused.
+	k.jobs.Free(j)
 }
 
 // Propagate pushes the completed job's output onto its outgoing edges and
@@ -457,13 +546,17 @@ func (k *Kernel) Propagate(now simtime.Time, j *sched.Job) {
 	if j.Task.IsControl {
 		k.emitControl(now, j)
 	}
-	for _, succ := range k.graph.Successors(j.Task.ID) {
-		ed := k.edges[edgeKey{from: j.Task.ID, to: succ}]
+	id := j.Task.ID
+	outs := k.outEdges[id]
+	for i, succ := range k.succs[id] {
+		ed := outs[i]
 		ed.fresh = true
 		ed.has = true
 		ed.sourceTime = j.SourceTime
 		ed.producedAt = now
-		if k.graph.PrimaryPred(succ) == j.Task.ID {
+		// preds[succ][0] is the primary (triggering) predecessor — the
+		// first edge added, same order dag.PrimaryPred reports.
+		if k.preds[succ][0] == id {
 			k.tryRelease(now, succ)
 		}
 	}
@@ -476,20 +569,20 @@ func (k *Kernel) Propagate(now simtime.Time, j *sched.Job) {
 // of the source at the root of the chain of primary edges — which defines
 // the pipeline's end-to-end staleness.
 func (k *Kernel) tryRelease(now simtime.Time, id dag.TaskID) {
-	preds := k.graph.Predecessors(id)
-	for _, p := range preds {
-		if !k.edges[edgeKey{from: p, to: id}].has {
+	ins := k.inEdges[id]
+	for _, ed := range ins {
+		if !ed.has {
 			return
 		}
 	}
-	primary := k.edges[edgeKey{from: preds[0], to: id}]
+	primary := ins[0]
 	if !primary.fresh {
 		return
 	}
 	primary.fresh = false
 	if k.maxAge > 0 {
-		for _, p := range preds {
-			if now-k.edges[edgeKey{from: p, to: id}].producedAt > k.maxAge {
+		for _, ed := range ins {
+			if now-ed.producedAt > k.maxAge {
 				// An input is too stale for a valid cycle: the
 				// release is invalid and counts as a miss of
 				// the consuming task.
@@ -506,14 +599,13 @@ func (k *Kernel) tryRelease(now simtime.Time, id dag.TaskID) {
 func (k *Kernel) invalidCycle(now simtime.Time, id dag.TaskID, sourceTime simtime.Time) {
 	t := k.graph.Task(id)
 	k.cycles[id]++
-	j := &sched.Job{
-		Task:        t,
-		Cycle:       k.cycles[id],
-		Release:     now,
-		AbsDeadline: now,
-		EstExec:     k.observed[id],
-		SourceTime:  sourceTime,
-	}
+	j := k.jobs.New()
+	j.Task = t
+	j.Cycle = k.cycles[id]
+	j.Release = now
+	j.AbsDeadline = now
+	j.EstExec = k.observed[id]
+	j.SourceTime = sourceTime
 	k.total.Released++
 	k.window.Released++
 	k.perTask[id].Released++
@@ -526,10 +618,11 @@ func (k *Kernel) invalidCycle(now simtime.Time, id dag.TaskID, sourceTime simtim
 		k.window.E2EDecided++
 		k.window.E2EMissed++
 	}
-	k.trace(jobEvent(EventInvalid, now, j, -1))
+	k.traceJob(EventInvalid, now, j, -1)
 	if k.onDecided != nil {
 		k.onDecided(now, j, true)
 	}
+	k.jobs.Free(j)
 }
 
 // emitControl accounts and publishes a control command.
@@ -547,7 +640,7 @@ func (k *Kernel) emitControl(now simtime.Time, j *sched.Job) {
 	k.window.ControlResponse.Add(float64(cmd.ResponseTime()))
 	k.total.EndToEnd.Add(float64(cmd.EndToEndLatency()))
 	k.window.EndToEnd.Add(float64(cmd.EndToEndLatency()))
-	k.trace(jobEvent(EventControl, now, j, -1))
+	k.traceJob(EventControl, now, j, -1)
 	if k.onCmd != nil {
 		k.onCmd(cmd)
 	}

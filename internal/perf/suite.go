@@ -44,6 +44,49 @@ func Suite() []Bench {
 		{"MFCStep", benchMFCStep},
 		{"FleetSecond/N=16", func(b *testing.B) { benchFleetSecond(b, 16) }},
 		{"FleetSecond/N=256", func(b *testing.B) { benchFleetSecond(b, 256) }},
+		{"SimtimeSchedule", benchSimtimeSchedule},
+		{"SimtimeTickerChurn", benchSimtimeTickerChurn},
+	}
+}
+
+// benchSimtimeSchedule measures raw schedule+step churn on a warm event
+// queue — the timer wheel's steady state, which must stay 0 allocs/op.
+func benchSimtimeSchedule(b *testing.B) {
+	q := simtime.NewEventQueue()
+	fn := func(simtime.Time) {}
+	for i := 0; i < 64; i++ {
+		if _, err := q.After(0.001, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for q.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.After(0.004, fn); err != nil {
+			b.Fatal(err)
+		}
+		q.Step()
+	}
+}
+
+// benchSimtimeTickerChurn drives the kernel's dominant workload shape: 32
+// tickers with HCPerf-like periods sharing one queue for one simulated
+// second.
+func benchSimtimeTickerChurn(b *testing.B) {
+	periods := []simtime.Duration{0.008, 0.010, 0.0125, 0.020, 0.025, 0.040, 0.050, 0.125}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := simtime.NewEventQueue()
+		for t := 0; t < 32; t++ {
+			if _, err := q.NewTicker(0, periods[t%len(periods)], func(simtime.Time) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := q.RunUntil(1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,67 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+)
+
+// MapBatch is Map over consecutive groups of inputs: the input slice is cut
+// into batches of up to size elements (the last batch may be shorter), the
+// batches are fanned out across the worker pool, and the flattened outputs
+// come back in input order. It exists for units that amortize per-unit setup
+// when executed together — batched multi-seed simulation advances K replicas
+// on one shared event queue instead of K private ones — while keeping the
+// sweep-level semantics of Map: fail-slow, order-preserving, prompt
+// cancellation.
+//
+// fn receives one batch and must return exactly one output per input, in
+// input order. A batch that fails (error, panic, or cancelled before
+// dispatch) reports its error once per member, each under the member's
+// original input index, so callers see the same Errors shape Map produces.
+// size < 1 is treated as 1.
+func MapBatch[I, O any](ctx context.Context, workers, size int, inputs []I, fn func(ctx context.Context, in []I) ([]O, error)) ([]O, error) {
+	if size < 1 {
+		size = 1
+	}
+	type batch struct {
+		start int
+		in    []I
+	}
+	batches := make([]batch, 0, (len(inputs)+size-1)/size)
+	for start := 0; start < len(inputs); start += size {
+		end := start + size
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		batches = append(batches, batch{start: start, in: inputs[start:end]})
+	}
+
+	outs, mapErr := Map(ctx, workers, batches, func(ctx context.Context, b batch) ([]O, error) {
+		out, err := fn(ctx, b.in)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(b.in) {
+			return nil, fmt.Errorf("runner: batch fn returned %d outputs for %d inputs", len(out), len(b.in))
+		}
+		return out, nil
+	})
+
+	results := make([]O, len(inputs))
+	for bi, out := range outs {
+		copy(results[batches[bi].start:], out)
+	}
+	if mapErr == nil {
+		return results, nil
+	}
+	// Re-index batch-level failures to input indices so MapBatch's Errors
+	// are interchangeable with Map's.
+	var flat Errors
+	for _, ue := range mapErr.(Errors) {
+		b := batches[ue.Index]
+		for j := range b.in {
+			flat = append(flat, &UnitError{Index: b.start + j, Err: ue.Err})
+		}
+	}
+	return results, flat
+}

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestMapBatchOrderAndGrouping checks that inputs are cut into consecutive
+// batches of the requested size and the flattened outputs come back in
+// input order for both serial and parallel pools.
+func TestMapBatchOrderAndGrouping(t *testing.T) {
+	inputs := make([]int, 10)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		for _, size := range []int{1, 3, 10, 100} {
+			got, err := MapBatch(context.Background(), workers, size, inputs,
+				func(_ context.Context, in []int) ([]string, error) {
+					if size >= 1 && len(in) > size {
+						return nil, fmt.Errorf("batch of %d exceeds size %d", len(in), size)
+					}
+					out := make([]string, len(in))
+					for i, v := range in {
+						out[i] = fmt.Sprintf("v%d", v)
+					}
+					return out, nil
+				})
+			if err != nil {
+				t.Fatalf("workers=%d size=%d: %v", workers, size, err)
+			}
+			for i, v := range got {
+				if want := fmt.Sprintf("v%d", i); v != want {
+					t.Fatalf("workers=%d size=%d: result[%d] = %q, want %q", workers, size, i, v, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMapBatchErrorIndices checks that a failing batch reports its error
+// once per member under the member's original input index, keeping MapBatch
+// Errors interchangeable with Map's.
+func TestMapBatchErrorIndices(t *testing.T) {
+	boom := errors.New("boom")
+	inputs := []int{0, 1, 2, 3, 4}
+	got, err := MapBatch(context.Background(), 1, 2, inputs,
+		func(_ context.Context, in []int) ([]int, error) {
+			if in[0] == 2 { // the second batch: inputs 2,3
+				return nil, boom
+			}
+			return in, nil
+		})
+	var errs Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("want Errors, got %v", err)
+	}
+	if len(errs) != 2 || errs[0].Index != 2 || errs[1].Index != 3 {
+		t.Fatalf("want unit errors at input indices 2,3, got %v", errs)
+	}
+	for _, ue := range errs {
+		if !errors.Is(ue, boom) {
+			t.Errorf("unit error %v does not unwrap to the batch error", ue)
+		}
+	}
+	// Successful batches still deliver their results.
+	if got[0] != 0 || got[1] != 1 || got[4] != 4 {
+		t.Errorf("successful batches lost results: %v", got)
+	}
+}
+
+// TestMapBatchOutputCountMismatch checks that a batch fn returning the
+// wrong number of outputs fails that batch instead of silently misaligning
+// the flattened results.
+func TestMapBatchOutputCountMismatch(t *testing.T) {
+	_, err := MapBatch(context.Background(), 1, 2, []int{1, 2, 3},
+		func(_ context.Context, in []int) ([]int, error) {
+			return in[:1], nil
+		})
+	if err == nil {
+		t.Fatal("want error for output count mismatch, got nil")
+	}
+}
+
+// TestMapBatchPanicIsolated checks that a panicking batch is converted into
+// per-member errors without taking down the pool.
+func TestMapBatchPanicIsolated(t *testing.T) {
+	got, err := MapBatch(context.Background(), 2, 2, []int{0, 1, 2, 3},
+		func(_ context.Context, in []int) ([]int, error) {
+			if in[0] == 0 {
+				panic("kaboom")
+			}
+			return in, nil
+		})
+	var errs Errors
+	if !errors.As(err, &errs) {
+		t.Fatalf("want Errors, got %v", err)
+	}
+	if len(errs) != 2 || errs[0].Index != 0 || errs[1].Index != 1 {
+		t.Fatalf("want the panicking batch's two members to fail, got %v", errs)
+	}
+	if got[2] != 2 || got[3] != 3 {
+		t.Errorf("surviving batch lost results: %v", got)
+	}
+}

@@ -31,6 +31,10 @@ type Job struct {
 	// whose data flows into this job; the scenario uses it to compute
 	// control commands from appropriately stale sensor data.
 	SourceTime simtime.Time
+
+	// arenaSlot is the job's slot in its owning JobArena; meaningless
+	// (zero) for jobs constructed outside an arena.
+	arenaSlot int32
 }
 
 // LatestStart returns the absolute latest instant the job may start and

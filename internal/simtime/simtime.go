@@ -5,10 +5,15 @@
 // coordinators) schedule work on a single EventQueue and observe the same
 // virtual clock, which makes every run exactly reproducible for a given
 // seed and configuration.
+//
+// The pending-event store behind an EventQueue is pluggable (see Scheduler):
+// the default is a hierarchical timer wheel tuned for the periodic-tick
+// workloads the simulator generates, with a binary heap as the reference
+// implementation. Both fire events in exactly the same (At, seq) order, so
+// the choice is invisible to simulation results.
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -45,73 +50,122 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 // Event is a unit of scheduled work. Fn runs when the virtual clock reaches
 // At. Events at the same instant run in scheduling order (FIFO), which keeps
 // runs deterministic.
+//
+// An event moves through a three-state machine, tracked in index:
+//
+//	pending   (index >= 0)  queued by Schedule; Cancel may still remove it
+//	fired     (index == -1) executed by Step — terminal
+//	cancelled (index == -2) removed by Cancel before firing — terminal
+//
+// Fired and Cancelled report the terminal states; a pending event reports
+// neither. Event records are recycled: once an event reaches a terminal
+// state, a later Schedule on the same queue may reuse its record, at which
+// point the old handle describes the new pending event. Handles are
+// therefore valid for state inspection (and for Cancel, which is a no-op on
+// terminal events) only until the owning queue schedules again; callers that
+// keep handles across events — like Ticker — must drop them no later than
+// when the event reaches a terminal state.
 type Event struct {
 	At Time
 	Fn func(now Time)
 
 	seq   uint64
-	index int // heap index; -1 once popped or cancelled
+	index int    // pending position (scheduler-defined) or terminal state
+	next  *Event // intrusive slot-list link while parked in a wheel slot
 }
 
 // Cancelled reports whether the event was removed before firing.
 func (e *Event) Cancelled() bool { return e.index == -2 }
 
-// eventHeap orders events by (At, seq).
-type eventHeap []*Event
+// Fired reports whether the event was executed by the queue.
+func (e *Event) Fired() bool { return e.index == -1 }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
 
 // ErrHalted is returned by Run variants when Halt stopped the queue early.
 var ErrHalted = errors.New("simtime: queue halted")
 
+// Scheduler is the pending-event store strategy behind an EventQueue. It is
+// sealed: the two implementations are the hierarchical timer wheel
+// (NewEventQueue, the default) and the reference binary heap
+// (NewHeapEventQueue). Both fire events in identical (At, seq) order — the
+// differential fuzz harness pins that equivalence — so scheduler choice
+// never changes simulation results, only their cost.
+type Scheduler interface {
+	// push stores a pending event and assigns its pending index.
+	push(ev *Event)
+	// pop removes and returns the earliest (At, seq) live event, marking
+	// it fired, or returns nil when no live events remain.
+	pop() *Event
+	// peekAt returns the instant of the earliest live event.
+	peekAt() (Time, bool)
+	// cancel marks a pending event cancelled. The caller guarantees the
+	// event is pending on this scheduler.
+	cancel(ev *Event)
+	// size returns the number of live (non-cancelled) pending events.
+	size() int
+}
+
 // EventQueue is a discrete-event scheduler. The zero value is not usable;
-// construct with NewEventQueue.
+// construct with NewEventQueue (timer wheel) or NewHeapEventQueue (binary
+// heap).
 type EventQueue struct {
 	now    Time
-	heap   eventHeap
+	sch    Scheduler
 	seq    uint64
 	halted bool
 	fired  uint64
+	// free recycles terminal event records so steady-state
+	// Schedule/Cancel/Step allocates nothing.
+	free []*Event
 }
 
-// NewEventQueue returns an empty queue with the clock at zero.
+// NewEventQueue returns an empty queue with the clock at zero, backed by the
+// hierarchical timer wheel.
 func NewEventQueue() *EventQueue {
-	return &EventQueue{}
+	q := &EventQueue{}
+	q.sch = newWheelScheduler(q)
+	return q
+}
+
+// NewHeapEventQueue returns an empty queue with the clock at zero, backed by
+// the reference binary-heap scheduler. It exists for differential testing
+// and benchmarking against the default wheel.
+func NewHeapEventQueue() *EventQueue {
+	q := &EventQueue{}
+	q.sch = newHeapScheduler(q)
+	return q
 }
 
 // Now returns the current virtual time.
 func (q *EventQueue) Now() Time { return q.now }
 
 // Len returns the number of pending events.
-func (q *EventQueue) Len() int { return len(q.heap) }
+func (q *EventQueue) Len() int { return q.sch.size() }
 
 // Fired returns the total number of events executed so far.
 func (q *EventQueue) Fired() uint64 { return q.fired }
+
+// alloc takes an event record off the freelist, or allocates one.
+func (q *EventQueue) alloc() *Event {
+	if n := len(q.free); n > 0 {
+		ev := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns a terminal event record to the freelist. The record keeps
+// its terminal index so held handles still answer Fired/Cancelled correctly
+// until the record is reused by a later Schedule.
+func (q *EventQueue) recycle(ev *Event) {
+	ev.Fn = nil
+	ev.next = nil
+	q.free = append(q.free, ev)
+}
 
 // Schedule enqueues fn to run at the absolute instant at. Scheduling in the
 // past (before Now) is an error: the returned event is nil and the function
@@ -126,9 +180,12 @@ func (q *EventQueue) Schedule(at Time, fn func(now Time)) (*Event, error) {
 	if fn == nil {
 		return nil, errors.New("simtime: schedule with nil fn")
 	}
-	ev := &Event{At: at, Fn: fn, seq: q.seq}
+	ev := q.alloc()
+	ev.At = at
+	ev.Fn = fn
+	ev.seq = q.seq
 	q.seq++
-	heap.Push(&q.heap, ev)
+	q.sch.push(ev)
 	return ev, nil
 }
 
@@ -147,8 +204,7 @@ func (q *EventQueue) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
 	}
-	heap.Remove(&q.heap, ev.index)
-	ev.index = -2
+	q.sch.cancel(ev)
 }
 
 // Halt stops Run/RunUntil after the currently executing event returns.
@@ -157,13 +213,17 @@ func (q *EventQueue) Halt() { q.halted = true }
 // Step executes the single earliest pending event, advancing the clock to
 // its instant. It reports whether an event ran.
 func (q *EventQueue) Step() bool {
-	if len(q.heap) == 0 {
+	ev := q.sch.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&q.heap).(*Event)
 	q.now = ev.At
 	q.fired++
-	ev.Fn(q.now)
+	fn := ev.Fn
+	fn(q.now)
+	// Recycled only after Fn returns: anything Fn scheduled drew from the
+	// freelist before this record rejoined it.
+	q.recycle(ev)
 	return true
 }
 
@@ -184,7 +244,8 @@ func (q *EventQueue) Run() error {
 func (q *EventQueue) RunUntil(end Time) error {
 	q.halted = false
 	for !q.halted {
-		if len(q.heap) == 0 || q.heap[0].At > end {
+		at, ok := q.sch.peekAt()
+		if !ok || at > end {
 			if end > q.now {
 				q.now = end
 			}
@@ -200,6 +261,7 @@ func (q *EventQueue) RunUntil(end Time) error {
 type Ticker struct {
 	q      *EventQueue
 	fn     func(now Time)
+	tickFn func(now Time) // t.tick bound once; a method value allocates per use
 	period Duration
 	next   *Event
 	stop   bool
@@ -214,7 +276,8 @@ func (q *EventQueue) NewTicker(start Time, period Duration, fn func(now Time)) (
 		return nil, errors.New("simtime: ticker with nil fn")
 	}
 	t := &Ticker{q: q, fn: fn, period: period}
-	ev, err := q.Schedule(start, t.tick)
+	t.tickFn = t.tick
+	ev, err := q.Schedule(start, t.tickFn)
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +286,10 @@ func (q *EventQueue) NewTicker(start Time, period Duration, fn func(now Time)) (
 }
 
 func (t *Ticker) tick(now Time) {
+	// The firing record is spent: drop the handle before running fn so a
+	// Stop — from inside fn or any later event — never cancels a record
+	// the queue has recycled to an unrelated event.
+	t.next = nil
 	if t.stop {
 		return
 	}
@@ -230,11 +297,13 @@ func (t *Ticker) tick(now Time) {
 	if t.stop { // fn may have stopped us
 		return
 	}
-	ev, err := t.q.Schedule(now+t.period, t.tick)
+	ev, err := t.q.Schedule(now+t.period, t.tickFn)
 	if err != nil {
-		// Scheduling strictly forward from now can only fail on NaN
-		// periods, which NewTicker and SetPeriod exclude.
-		panic(err)
+		// Impossible by construction: now + period is strictly after the
+		// queue's clock for the positive, finite periods NewTicker and
+		// SetPeriod admit. A failure here means the ticker invariant was
+		// broken by a simtime bug, not by the caller.
+		panic(fmt.Sprintf("simtime: ticker invariant violated rescheduling period %v at %v: %v", t.period, now, err))
 	}
 	t.next = ev
 }
