@@ -8,7 +8,8 @@ GO ?= go
 # wall-clock executor.
 RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
              ./internal/engine/... ./internal/scenario/... ./internal/rt/... \
-             ./internal/lifecycle/... ./internal/service/... ./internal/fleet/...
+             ./internal/lifecycle/... ./internal/service/... ./internal/fleet/... \
+             ./internal/search/...
 
 .PHONY: ci vet build test race bench bench-json bench-check bench-update fuzz suite trace-demo serve
 
@@ -65,12 +66,14 @@ bench-update:
 	$(GO) run ./cmd/hcperf-bench -json -benchtime $(BENCHTIME) -out BENCH_baseline.json
 
 ## fuzz: short fuzz passes — Hungarian solver vs brute force, the
-## scenario-spec JSON decode/validate/re-encode round trip, and the
-## heap-vs-wheel event-scheduler differential (identical firing sequences).
+## scenario-spec JSON decode/validate/re-encode round trip, the
+## heap-vs-wheel event-scheduler differential (identical firing sequences),
+## and the search-space JSON normalize fixed point.
 fuzz:
 	$(GO) test -fuzz=FuzzHungarian -fuzztime=10s ./internal/hungarian/
 	$(GO) test -fuzz=FuzzSpecJSON -fuzztime=10s ./internal/scenario/
 	$(GO) test -fuzz=FuzzSchedulerEquivalence -fuzztime=10s ./internal/simtime/
+	$(GO) test -fuzz=FuzzParamSpaceJSON -fuzztime=10s ./internal/search/
 
 ## suite: run every experiment once, fanned across GOMAXPROCS workers.
 suite:

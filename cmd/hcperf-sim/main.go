@@ -16,6 +16,8 @@
 //	hcperf-sim -mode rt -duration 5 -scheme hcperf     # wall-clock executor
 //	hcperf-sim -mode suite -parallel 4                 # full experiment suite
 //	hcperf-sim -mode suite -replicas 8                 # batched multi-seed sweeps
+//	hcperf-sim -mode tune -budget 32 -parallel 0       # coordinator policy search
+//	hcperf-sim -mode tune -spec tpl.json -strategy grid -report tune.json
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"hcperf/internal/rt"
 	"hcperf/internal/scenario"
 	"hcperf/internal/sched"
+	"hcperf/internal/search"
 	"hcperf/internal/simtime"
 	"hcperf/internal/version"
 )
@@ -47,9 +50,14 @@ func main() {
 		csvPath      = flag.String("csv", "", "write recorded series to this CSV file")
 		tracePath    = flag.String("trace", "", "write per-job lifecycle events to this file (.csv = CSV, else Chrome trace JSON)")
 		specPath     = flag.String("spec", "", "run a declarative scenario spec from this JSON file (overrides -scenario/-scheme/-seed/-duration)")
-		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite)")
-		parallel     = flag.Int("parallel", 1, "suite worker count: N>=1 workers, 0 = GOMAXPROCS")
+		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite) | tune (coordinator policy search)")
+		parallel     = flag.Int("parallel", 1, "suite/tune worker count: N>=1 workers, 0 = GOMAXPROCS")
 		replicas     = flag.Int("replicas", 1, "suite sweep batch width: K>=2 advances K multi-seed replicas in lockstep per shared event queue")
+		budget       = flag.Int("budget", 0, "tune candidate-evaluation budget (0 = default)")
+		strategy     = flag.String("strategy", "", "tune search strategy: evolve | grid | random (default evolve)")
+		tuneSeeds    = flag.Int("seeds", 0, "tune replicas per candidate (0 = default)")
+		objectives   = flag.String("objectives", "", "tune objectives, comma-separated (default all: "+strings.Join(search.ObjectiveNames(), ",")+")")
+		reportPath   = flag.String("report", "", "tune: write the full search report JSON to this file")
 		showVersion  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
@@ -57,10 +65,92 @@ func main() {
 		fmt.Println(version.Get())
 		return
 	}
+	if *mode == "tune" {
+		if err := runTune(*specPath, *scenarioName, *seed, *duration, *strategy, *objectives, *budget, *tuneSeeds, *parallel, *reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *specPath, *mode, *parallel, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// runTune performs a coordinator policy search: the spec (or -scenario
+// shorthand) is the template every candidate tuning is stamped onto, and
+// the result is the canonical Pareto front plus the per-objective best
+// versus the paper defaults.
+func runTune(specPath, scenarioName string, seed int64, duration float64, strategy, objectives string, budget, seeds, parallel int, reportPath string) error {
+	var spec scenario.Spec
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return err
+		}
+		var derr error
+		spec, derr = scenario.DecodeSpec(f)
+		f.Close()
+		if derr != nil {
+			return fmt.Errorf("%s: %w", specPath, derr)
+		}
+	} else {
+		spec = scenario.Spec{Scenario: scenarioName, Duration: duration}
+	}
+	rq := search.Request{
+		Spec:     spec,
+		Strategy: strategy,
+		Budget:   budget,
+		Seeds:    seeds,
+		Seed:     seed,
+	}
+	if objectives != "" {
+		rq.Objectives = strings.Split(objectives, ",")
+	}
+	norm, err := rq.Normalize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tune: %s template, strategy=%s budget=%d seeds=%d seed=%d\n",
+		norm.Spec.Scenario, norm.Strategy, norm.Budget, norm.Seeds, norm.Seed)
+	start := time.Now()
+	rep, err := norm.Run(context.Background(), parallel, func(p search.Progress) {
+		fmt.Printf("tune: gen %d done, %d/%d candidates evaluated\n", p.Generations, p.Evaluated, norm.Budget)
+	})
+	if err != nil {
+		return err
+	}
+	table := &experiment.Report{
+		ID:     "tune",
+		Title:  fmt.Sprintf("Coordinator policy search (%s): baselines and Pareto front", rep.Strategy),
+		Header: rep.Header(),
+		Rows:   rep.Rows(),
+	}
+	if err := table.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	best := &experiment.Report{
+		ID:     "tune-best",
+		Title:  "Best candidate per objective vs paper defaults",
+		Header: []string{"objective", "best", "default", "vs default", "candidate"},
+		Rows:   rep.BestRows(),
+	}
+	if err := best.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("tune: %d candidates, %d generations, %.2fs\n", rep.Evaluated, rep.Generations, time.Since(start).Seconds())
+	if reportPath != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("tune: report written to %s\n", reportPath)
+	}
+	return nil
 }
 
 // parseScheme resolves a scheme name via the shared scenario parser.

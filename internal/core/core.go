@@ -130,7 +130,7 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	mcfg := cfg.MFC
 	if mcfg == (mfc.Config{}) {
-		mcfg = MFCConfigForScale(2, cfg.Dynamic.GammaCap)
+		mcfg = MFCConfigForScale(DefaultErrScale, cfg.Dynamic.GammaCap)
 	}
 	pdc, err := mfc.New(mcfg)
 	if err != nil {

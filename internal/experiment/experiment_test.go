@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig12", "fig13", "table2", "table3",
 		"fig14", "table4", "fig15", "table5", "table6",
 		"fig16", "fig17", "fig18", "overhead",
-		"ablate-gammacap", "ablate-e2e", "ablate-dataage", "sweep-procs", "ext-aeb", "ext-dual", "ext-fleet",
+		"ablate-gammacap", "ablate-e2e", "ablate-dataage", "sweep-procs", "ext-aeb", "ext-dual", "ext-fleet", "ext-tune",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))

@@ -20,6 +20,7 @@ var goldenDigests = map[string]string{
 	"ext-aeb":         "294fb210824cd80f0138aeab86ed1197ae86d5fcbe064294b42ca5ae771995d4",
 	"ext-fleet":       "a7109966f5467a97f90ba89f67338d5f925b12c30a5e44c3bc5922bb05c2c7d6",
 	"ext-dual":        "3dbb056751a3f936066d34cab2869485eb0db011295f322ba9aee6d4cfd6f0c4",
+	"ext-tune":        "975c8672a9bafb4b8ad590e90e04b3d535a60407cc594c85346df4fb68cfbbf2",
 	"fig12":           "508ef37c42d8480a9ca1441400ded3a2ef3d2228516aa36ae14c7478fddc2a63",
 	"fig13":           "067026c9316163c47ea14e463d12f470ba9a0d67d5ccf116405408d9b96cb595",
 	"fig14":           "1446fd2b2195162bbae030e830d643535442bda55ae8cffcfa983e029a97e688",

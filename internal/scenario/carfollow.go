@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"hcperf/internal/core"
 	"hcperf/internal/engine"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/metrics"
@@ -81,6 +82,11 @@ type CarFollowingConfig struct {
 	// (DefaultMaxDataAge, 220 ms), negative = disabled (ablation:
 	// auxiliary-task starvation becomes free).
 	MaxDataAge simtime.Duration
+	// Tunables sets the coordinator parameter set (γ cap, MFC window,
+	// adapter gains, rate-band scales). Zero fields take the paper
+	// defaults (core.DefaultTunables); the search subsystem explores this
+	// space. A non-zero GammaCap field above wins over Tunables.GammaCap.
+	Tunables core.Tunables
 }
 
 // DefaultCarFollowingObstacles is the paper's complex-scene episode — 11
@@ -163,6 +169,7 @@ func (c *CarFollowingConfig) loop() loopConfig {
 		RateOverrides: c.RateOverrides,
 		Obstacles:     c.Obstacles,
 		Tracer:        c.Tracer,
+		Tunables:      c.Tunables,
 	}
 }
 

@@ -156,6 +156,10 @@ type loopConfig struct {
 	MFCScale float64
 	// RateConfig tunes the Task Rate Adapter (zero value = default).
 	RateConfig rate.Config
+	// Tunables carries the coordinator parameter set; zero fields take
+	// the paper defaults (core.DefaultTunables), so a zero value is
+	// byte-identical to the pre-tunables behaviour.
+	Tunables core.Tunables
 }
 
 // loopResult is what the kernel hands back; plants keep their own
@@ -213,6 +217,10 @@ func runLoop(lc loopConfig, build func(rec *trace.Recorder) (Plant, error)) (*lo
 // below (plant dynamics, summary sample, engine sources, coordinator) is
 // part of the simulation's observable behaviour and must not be reordered.
 func attachLoop(q *simtime.EventQueue, lc loopConfig, build func(rec *trace.Recorder) (Plant, error)) (*attachedLoop, error) {
+	tun, err := lc.Tunables.Resolved()
+	if err != nil {
+		return nil, err
+	}
 	graph, err := BuildGraph(lc.Graph)
 	if err != nil {
 		return nil, err
@@ -227,6 +235,12 @@ func attachLoop(q *simtime.EventQueue, lc loopConfig, build func(rec *trace.Reco
 			return nil, err
 		}
 	}
+	// Rate-band rescaling runs after the initial-rate overrides: the
+	// overrides are validated against the paper's bands, then the tunable
+	// scales reshape the range the rate adapter may move in.
+	if err := tun.ApplyRateBounds(graph); err != nil {
+		return nil, err
+	}
 	if lc.DisableE2E {
 		for _, t := range graph.Tasks() {
 			if t.IsControl {
@@ -238,8 +252,14 @@ func attachLoop(q *simtime.EventQueue, lc loopConfig, build func(rec *trace.Reco
 	if err != nil {
 		return nil, err
 	}
-	if dyn != nil && lc.GammaCap > 0 {
-		dyn.GammaCap = lc.GammaCap
+	// γ-cap precedence: the scenario's explicit GammaCap (ablation knob)
+	// wins over the tunable set, whose default is sched.DefaultGammaCap —
+	// exactly what NewDynamic(0) picked before tunables existed.
+	if dyn != nil {
+		dyn.GammaCap = tun.GammaCap
+		if lc.GammaCap > 0 {
+			dyn.GammaCap = lc.GammaCap
+		}
 	}
 	if lc.SampleRate < 0 {
 		return nil, fmt.Errorf("scenario: negative sample rate %v", lc.SampleRate)
@@ -293,17 +313,25 @@ func attachLoop(q *simtime.EventQueue, lc loopConfig, build func(rec *trace.Reco
 
 	var coord *core.Coordinator
 	if lc.Scheme.IsHCPerf() {
+		// The MFC and adapter configurations are built from the tunable
+		// set around the *effective* γ cap (post-override). Scenarios
+		// with a bespoke adapter profile (lane keeping) keep it; the
+		// tunable Kp0/decay overlay applies only on the default profile.
+		effective := tun
+		effective.GammaCap = dyn.GammaCap
+		rcfg := lc.RateConfig
+		if rcfg == (rate.Config{}) {
+			rcfg = effective.RateConfig()
+		}
 		ccfg := core.Config{
 			Engine:          eng,
 			Queue:           q,
 			Dynamic:         dyn,
-			Rate:            lc.RateConfig,
+			MFC:             effective.MFCConfig(lc.MFCScale),
+			Rate:            rcfg,
 			TrackingError:   plant.TrackingError,
 			DisableExternal: lc.Scheme == SchemeHCPerfInternal,
 			OnControlPeriod: plant.CoordSample,
-		}
-		if lc.MFCScale > 0 {
-			ccfg.MFC = core.MFCConfigForScale(lc.MFCScale, dyn.GammaCap)
 		}
 		if coord, err = core.New(ccfg); err != nil {
 			return nil, err

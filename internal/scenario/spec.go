@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 
+	"hcperf/internal/core"
 	"hcperf/internal/exectime"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/simtime"
@@ -67,6 +68,12 @@ type Spec struct {
 	// Obstacles is a piecewise-constant obstacle-count profile; empty
 	// keeps the scenario default.
 	Obstacles []ObstaclePhase `json:"obstacles,omitempty"`
+	// Tunables overrides the coordinator parameter set (car-following
+	// family only): MFC window, rate-adapter gains and rate-band scales.
+	// The γ cap keeps its existing top-level gamma_cap knob. Zero fields
+	// take the paper defaults; a block with every field zero normalizes
+	// to nil.
+	Tunables *SpecTunables `json:"tunables,omitempty"`
 	// Fleet scales the run from one vehicle to N coupled vehicles on one
 	// shared virtual clock (car-following family only). Fleet specs are
 	// executed by internal/fleet; nil keeps the single-vehicle run.
@@ -114,6 +121,37 @@ type FleetSpec struct {
 	// equal N. Empty derives per-vehicle seeds from the run seed with a
 	// splitmix64 partition (internal/fleet.VehicleSeed).
 	VehicleSeeds []int64 `json:"vehicle_seeds,omitempty"`
+}
+
+// SpecTunables is the declarative form of core.Tunables (minus the γ cap,
+// which predates it as the spec's top-level gamma_cap field). Zero fields
+// take the paper defaults, so the block only needs the knobs being moved.
+type SpecTunables struct {
+	// MFCWindowMS is the Performance Directed Controller's derivative-
+	// estimation window in milliseconds (0 = default 500; must cover the
+	// 100 ms MFC sampling period).
+	MFCWindowMS float64 `json:"mfc_window_ms,omitempty"`
+	// RateKp0 is the Task Rate Adapter's initial gain (0 = default 0.8).
+	RateKp0 float64 `json:"rate_kp0,omitempty"`
+	// RateDecay is the adapter's stable-period gain decay in (0,1)
+	// (0 = default 0.9).
+	RateDecay float64 `json:"rate_decay,omitempty"`
+	// RMinScale and RMaxScale multiply every adjustable source task's
+	// allowable rate band (0 = default 1).
+	RMinScale float64 `json:"r_min_scale,omitempty"`
+	RMaxScale float64 `json:"r_max_scale,omitempty"`
+}
+
+// Core maps the spec block onto the coordinator tunable set; zero fields
+// pass through and resolve to the paper defaults at run time.
+func (t SpecTunables) Core() core.Tunables {
+	return core.Tunables{
+		MFCWindow: simtime.Duration(t.MFCWindowMS * float64(simtime.Millisecond)),
+		RateKp0:   t.RateKp0,
+		RateDecay: t.RateDecay,
+		RMinScale: t.RMinScale,
+		RMaxScale: t.RMaxScale,
+	}
 }
 
 // SpecLoad is one execution-time multiplier window.
@@ -231,10 +269,44 @@ func (s Spec) Normalize() (Spec, error) {
 	if !caps.obstacles && len(s.Obstacles) > 0 {
 		return s, fmt.Errorf("scenario: %s does not support an obstacles profile", s.Scenario)
 	}
-	// Dry-run the load steps and rate overrides against a scratch copy of
-	// the graph: task names, window shapes and rate ranges fail here with
-	// the same structured errors the runtime path would produce.
-	if len(s.Loads) > 0 || len(s.RateOverrides) > 0 {
+	if s.Tunables != nil {
+		if !caps.carFollow {
+			return s, fmt.Errorf("scenario: tunables are only supported by the car-following scenarios")
+		}
+		tb := *s.Tunables
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"tunables.mfc_window_ms", tb.MFCWindowMS},
+			{"tunables.rate_kp0", tb.RateKp0},
+			{"tunables.rate_decay", tb.RateDecay},
+			{"tunables.r_min_scale", tb.RMinScale},
+			{"tunables.r_max_scale", tb.RMaxScale},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				return s, fmt.Errorf("scenario: %s must be a finite value >= 0, got %v", f.name, f.v)
+			}
+		}
+		if tb.MFCWindowMS != 0 && tb.MFCWindowMS < 100 {
+			return s, fmt.Errorf("scenario: tunables.mfc_window_ms %v must cover the 100 ms MFC sampling period", tb.MFCWindowMS)
+		}
+		if tb.RateDecay != 0 && tb.RateDecay >= 1 {
+			return s, fmt.Errorf("scenario: tunables.rate_decay %v outside (0,1)", tb.RateDecay)
+		}
+		// A block with every field zero is the default set: canonicalize
+		// it away so equivalent specs share one cache key.
+		if tb == (SpecTunables{}) {
+			s.Tunables = nil
+		} else {
+			s.Tunables = &tb
+		}
+	}
+	// Dry-run the load steps, rate overrides and tunable rate-band scales
+	// against a scratch copy of the graph: task names, window shapes and
+	// rate ranges fail here with the same structured errors the runtime
+	// path would produce.
+	if len(s.Loads) > 0 || len(s.RateOverrides) > 0 || s.Tunables != nil {
 		scratch, err := BuildGraph(s.Graph)
 		if err != nil {
 			return s, err
@@ -246,6 +318,15 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		if len(s.RateOverrides) > 0 {
 			if err := applyRateOverrides(scratch, s.RateOverrides); err != nil {
+				return s, err
+			}
+		}
+		if s.Tunables != nil {
+			tun, err := s.Tunables.Core().Resolved()
+			if err != nil {
+				return s, err
+			}
+			if err := tun.ApplyRateBounds(scratch); err != nil {
 				return s, err
 			}
 		}
@@ -421,6 +502,9 @@ func CarFollowingConfigFromSpec(spec Spec) (CarFollowingConfig, error) {
 	}
 	if obs := spec.obstaclesFunc(); obs != nil {
 		cfg.Obstacles = obs
+	}
+	if spec.Tunables != nil {
+		cfg.Tunables = spec.Tunables.Core()
 	}
 	return cfg, nil
 }

@@ -1,0 +1,185 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hcperf/internal/scenario"
+)
+
+// Metrics are one candidate's scored outcomes, reduced over its K replica
+// runs. Every metric is a deterministic function of the simulation — the
+// paper's wall-clock overhead accumulator is deliberately replaced by a
+// released-jobs rate proxy so search reports stay byte-reproducible.
+type Metrics struct {
+	// ErrP99 is the 99th percentile of |speed tracking error| (m/s),
+	// pooled over every dynamics step of every replica and reduced in
+	// canonical sorted order.
+	ErrP99 float64 `json:"err_p99"`
+	// MissRatio is the mean per-second deadline-miss ratio, averaged
+	// across replicas.
+	MissRatio float64 `json:"miss_ratio"`
+	// Overhead is the coordination-load proxy: pipeline jobs released per
+	// simulated second, averaged across replicas. Higher sensing rates
+	// buy tracking accuracy at exactly this cost.
+	Overhead float64 `json:"overhead"`
+	// GapMin is the minimum inter-vehicle gap (m) over every replica —
+	// the collision margin (the single-vehicle analog of the fleet's
+	// fleet_gap_min series). Bigger is better; <= 0 is a crash.
+	GapMin float64 `json:"gap_min"`
+	// Collisions counts replicas that collided (reported, not scored —
+	// GapMin already dominates through zero).
+	Collisions int `json:"collisions,omitempty"`
+}
+
+// value returns the named objective's raw value.
+func (m Metrics) value(name string) float64 {
+	switch name {
+	case ObjectiveErrP99:
+		return m.ErrP99
+	case ObjectiveMissRatio:
+		return m.MissRatio
+	case ObjectiveOverhead:
+		return m.Overhead
+	case ObjectiveGapMin:
+		return m.GapMin
+	default:
+		panic(fmt.Sprintf("search: unknown objective %q", name))
+	}
+}
+
+// Objective names, in canonical (sorted) order.
+const (
+	ObjectiveErrP99    = "err_p99"
+	ObjectiveGapMin    = "gap_min"
+	ObjectiveMissRatio = "miss_ratio"
+	ObjectiveOverhead  = "overhead"
+)
+
+// Objective is one scored axis of the search.
+type Objective struct {
+	// Name is one of the objective names above.
+	Name string
+	// Maximize flips the dominance direction (gap_min).
+	Maximize bool
+}
+
+// minimized returns the objective's value in minimized orientation, the
+// form every dominance comparison uses.
+func (o Objective) minimized(m Metrics) float64 {
+	v := m.value(o.Name)
+	if o.Maximize {
+		return -v
+	}
+	return v
+}
+
+// AllObjectives returns every objective in canonical order.
+func AllObjectives() []Objective {
+	return []Objective{
+		{Name: ObjectiveErrP99},
+		{Name: ObjectiveGapMin, Maximize: true},
+		{Name: ObjectiveMissRatio},
+		{Name: ObjectiveOverhead},
+	}
+}
+
+// ObjectiveNames lists the known objective names in canonical order.
+func ObjectiveNames() []string {
+	all := AllObjectives()
+	names := make([]string, len(all))
+	for i, o := range all {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// ParseObjectives resolves objective names (deduplicated, canonical
+// order); an empty list selects all four.
+func ParseObjectives(names []string) ([]Objective, error) {
+	if len(names) == 0 {
+		return AllObjectives(), nil
+	}
+	byName := make(map[string]Objective)
+	for _, o := range AllObjectives() {
+		byName[o.Name] = o
+	}
+	seen := make(map[string]bool)
+	out := make([]Objective, 0, len(names))
+	for _, n := range names {
+		o, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("search: unknown objective %q (have %s)", n, strings.Join(ObjectiveNames(), ", "))
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// reduceMetrics folds K replica results into one Metrics. Replica order is
+// deterministic (seed index), and the pooled percentile sorts before any
+// arithmetic, so the reduction is also invariant under replica relabeling.
+func reduceMetrics(results []*scenario.CarFollowingResult) Metrics {
+	var m Metrics
+	var pooled []float64
+	var missSum, overheadSum float64
+	gapMin := math.Inf(1)
+	for _, r := range results {
+		for _, s := range r.Rec.Series("speed_err").Samples {
+			pooled = append(pooled, math.Abs(s.V))
+		}
+		missSum += r.Miss.MeanRatio()
+		// The run duration is recoverable from the last dynamics sample;
+		// the series is never empty for a positive-duration run.
+		duration := 0.0
+		if samples := r.Rec.Series("speed_err").Samples; len(samples) > 0 {
+			duration = samples[len(samples)-1].T
+		}
+		if duration > 0 {
+			overheadSum += float64(r.EngineStats.Released) / duration
+		}
+		for _, s := range r.Rec.Series("gap").Samples {
+			if s.V < gapMin {
+				gapMin = s.V
+			}
+		}
+		if r.Collision {
+			m.Collisions++
+		}
+	}
+	sort.Float64s(pooled)
+	m.ErrP99 = percentile(pooled, 99)
+	m.MissRatio = missSum / float64(len(results))
+	m.Overhead = overheadSum / float64(len(results))
+	if !math.IsInf(gapMin, 1) {
+		m.GapMin = gapMin
+	}
+	return m
+}
+
+// percentile returns the p-th percentile (0..100, linear interpolation) of
+// an already-sorted slice, matching trace.Series.Percentile.
+func percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

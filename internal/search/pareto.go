@@ -1,0 +1,117 @@
+package search
+
+import "sort"
+
+// Scored is one evaluated candidate.
+type Scored struct {
+	Candidate Candidate `json:"candidate"`
+	Metrics   Metrics   `json:"metrics"`
+	// Gen is the generation the candidate was first evaluated in.
+	Gen int `json:"gen"`
+}
+
+// vector returns the candidate's objective values in minimized orientation,
+// in objective order.
+func (s Scored) vector(objs []Objective) []float64 {
+	v := make([]float64, len(objs))
+	for i, o := range objs {
+		v[i] = o.minimized(s.Metrics)
+	}
+	return v
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// and strictly better on at least one (both in minimized orientation).
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Front extracts the Pareto front: every candidate no other candidate
+// dominates. The result is canonically ordered — lexicographically by
+// minimized objective vector, ties broken by candidate key — so the front
+// is exactly invariant under permutation of the input. Duplicate candidate
+// keys keep one representative (the metrics of a key are deterministic, so
+// duplicates are byte-identical anyway).
+func Front(scored []Scored, objs []Objective) []Scored {
+	type entry struct {
+		s Scored
+		v []float64
+	}
+	entries := make([]entry, 0, len(scored))
+	seen := make(map[string]bool, len(scored))
+	for _, s := range scored {
+		k := s.Candidate.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		entries = append(entries, entry{s: s, v: s.vector(objs)})
+	}
+	var front []entry
+	for i, e := range entries {
+		dominated := false
+		for j, other := range entries {
+			if i == j {
+				continue
+			}
+			if dominates(other.v, e.v) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, e)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i].v, front[j].v
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return front[i].s.Candidate.Key() < front[j].s.Candidate.Key()
+	})
+	out := make([]Scored, len(front))
+	for i, e := range front {
+		out[i] = e.s
+	}
+	return out
+}
+
+// rankAll performs non-dominated sorting: rank 0 is the Pareto front of
+// the whole set, rank 1 the front of the remainder, and so on. Within each
+// rank candidates keep the front's canonical order. The evolutionary
+// strategy selects parents in this order.
+func rankAll(scored []Scored, objs []Objective) []Scored {
+	remaining := append([]Scored(nil), scored...)
+	var out []Scored
+	for len(remaining) > 0 {
+		front := Front(remaining, objs)
+		if len(front) == 0 {
+			break
+		}
+		out = append(out, front...)
+		inFront := make(map[string]bool, len(front))
+		for _, s := range front {
+			inFront[s.Candidate.Key()] = true
+		}
+		next := remaining[:0]
+		for _, s := range remaining {
+			if !inFront[s.Candidate.Key()] {
+				next = append(next, s)
+			}
+		}
+		remaining = next
+	}
+	return out
+}

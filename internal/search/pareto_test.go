@@ -1,0 +1,146 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mkScored builds a Scored with the given objective values mapped onto
+// (ErrP99, MissRatio) for two-objective tests.
+func mkScored(key float64, errP99, miss float64) Scored {
+	return Scored{
+		Candidate: Candidate{Scheme: "hcperf", Values: []float64{key}},
+		Metrics:   Metrics{ErrP99: errP99, MissRatio: miss},
+	}
+}
+
+func twoObjectives() []Objective {
+	return []Objective{{Name: ObjectiveErrP99}, {Name: ObjectiveMissRatio}}
+}
+
+func TestFrontNoDominatedPoint(t *testing.T) {
+	objs := twoObjectives()
+	scored := []Scored{
+		mkScored(1, 1.0, 0.5),
+		mkScored(2, 0.5, 1.0),
+		mkScored(3, 2.0, 2.0), // dominated by both
+		mkScored(4, 0.8, 0.8),
+		mkScored(5, 1.5, 0.4),
+	}
+	front := Front(scored, objs)
+	for i, a := range front {
+		for j, b := range front {
+			if i == j {
+				continue
+			}
+			if dominates(b.vector(objs), a.vector(objs)) {
+				t.Fatalf("front member %d dominated by member %d", i, j)
+			}
+		}
+		// And no input point dominates a front member.
+		for _, s := range scored {
+			if dominates(s.vector(objs), a.vector(objs)) {
+				t.Fatalf("input %v dominates front member %v", s.Candidate.Key(), a.Candidate.Key())
+			}
+		}
+	}
+	keys := make(map[string]bool)
+	for _, s := range front {
+		keys[s.Candidate.Key()] = true
+	}
+	if keys[mkScored(3, 0, 0).Candidate.Key()] {
+		t.Fatal("dominated candidate 3 on front")
+	}
+}
+
+// TestFrontPermutationInvariance is the property test: the front must be
+// byte-identical (same members, same order) under any permutation of the
+// scored input.
+func TestFrontPermutationInvariance(t *testing.T) {
+	objs := twoObjectives()
+	scored := []Scored{
+		mkScored(1, 1.0, 0.5),
+		mkScored(2, 0.5, 1.0),
+		mkScored(3, 2.0, 2.0),
+		mkScored(4, 0.8, 0.8),
+		mkScored(5, 1.5, 0.4),
+		mkScored(6, 0.5, 1.0), // ties candidate 2's vector, distinct key
+	}
+	want := Front(scored, objs)
+	r := newRNG(42, 0)
+	perm := append([]Scored(nil), scored...)
+	for trial := 0; trial < 200; trial++ {
+		// Fisher-Yates with the deterministic test rng.
+		for i := len(perm) - 1; i > 0; i-- {
+			j := r.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		got := Front(perm, objs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: front differs under permutation:\n%+v\n%+v", trial, got, want)
+		}
+	}
+}
+
+func TestFrontDeduplicatesKeys(t *testing.T) {
+	objs := twoObjectives()
+	s := mkScored(1, 1.0, 1.0)
+	front := Front([]Scored{s, s, s}, objs)
+	if len(front) != 1 {
+		t.Fatalf("front of 3 duplicates has %d members, want 1", len(front))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict improvement
+		{[]float64{1, 1}, []float64{1, 2}, true},
+		{[]float64{2, 1}, []float64{1, 1}, false},
+	}
+	for i, c := range cases {
+		if got := dominates(c.a, c.b); got != c.want {
+			t.Errorf("case %d: dominates(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRankAllCoversEverything(t *testing.T) {
+	objs := twoObjectives()
+	scored := []Scored{
+		mkScored(1, 1.0, 0.5),
+		mkScored(2, 0.5, 1.0),
+		mkScored(3, 2.0, 2.0),
+		mkScored(4, 3.0, 3.0),
+	}
+	ranked := rankAll(scored, objs)
+	if len(ranked) != len(scored) {
+		t.Fatalf("rankAll returned %d of %d", len(ranked), len(scored))
+	}
+	// Rank 0 first: candidates 1 and 2; 3 before 4 (3 dominates 4).
+	pos := make(map[string]int)
+	for i, s := range ranked {
+		pos[s.Candidate.Key()] = i
+	}
+	k := func(key float64) string { return mkScored(key, 0, 0).Candidate.Key() }
+	if pos[k(3)] < pos[k(1)] || pos[k(3)] < pos[k(2)] {
+		t.Fatal("dominated candidate ranked above front")
+	}
+	if pos[k(4)] < pos[k(3)] {
+		t.Fatal("rank-2 candidate ranked above rank-1")
+	}
+}
+
+func TestGapMinMaximized(t *testing.T) {
+	objs := []Objective{{Name: ObjectiveGapMin, Maximize: true}}
+	a := Scored{Candidate: Candidate{Scheme: "a"}, Metrics: Metrics{GapMin: 5}}
+	b := Scored{Candidate: Candidate{Scheme: "b"}, Metrics: Metrics{GapMin: 2}}
+	front := Front([]Scored{a, b}, objs)
+	if len(front) != 1 || front[0].Candidate.Scheme != "a" {
+		t.Fatalf("maximized objective front = %+v, want only the larger gap", front)
+	}
+}

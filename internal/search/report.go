@@ -1,0 +1,163 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// BestEntry records, for one objective, the best candidate found and the
+// paper-default (hcperf baseline) value it is measured against.
+type BestEntry struct {
+	Objective string   `json:"objective"`
+	Value     float64  `json:"value"`
+	Baseline  float64  `json:"baseline"`
+	Improved  bool     `json:"improved"`
+	Candidate Candidate `json:"candidate"`
+}
+
+// Report is the outcome of one search: the canonical Pareto front, the
+// baseline candidates it is measured against, and per-objective bests. All
+// fields are deterministic, and the struct marshals to canonical JSON
+// (fixed field order, no maps), so reports are digest-pinnable.
+type Report struct {
+	Strategy    string    `json:"strategy"`
+	Seed        int64     `json:"seed"`
+	Seeds       int       `json:"seeds"`
+	Budget      int       `json:"budget"`
+	Evaluated   int       `json:"evaluated"`
+	Generations int       `json:"generations"`
+	SpaceSize   int       `json:"space_size"`
+	Objectives  []string  `json:"objectives"`
+	Space       Space     `json:"space"`
+	// Baselines are the paper-default candidates, one per scheme, in
+	// scheme order.
+	Baselines []Scored `json:"baselines"`
+	// Front is the Pareto front over everything evaluated, in canonical
+	// order (minimized objective vector, then candidate key).
+	Front []Scored `json:"front"`
+	// Best lists the best candidate per objective (objective order),
+	// each compared against the hcperf baseline.
+	Best []BestEntry `json:"best"`
+}
+
+// buildReport reduces the scored set into the final report.
+func buildReport(opts Options, scored []Scored, generations int, baselineKeys map[string]bool) *Report {
+	objNames := make([]string, len(opts.Objectives))
+	for i, o := range opts.Objectives {
+		objNames[i] = o.Name
+	}
+	r := &Report{
+		Strategy:    opts.Strategy.Name(),
+		Seed:        opts.Seed,
+		Seeds:       opts.Seeds,
+		Budget:      opts.Budget,
+		Evaluated:   len(scored),
+		Generations: generations,
+		SpaceSize:   opts.Space.Size(),
+		Objectives:  objNames,
+		Space:       *opts.Space,
+		Front:       Front(scored, opts.Objectives),
+	}
+	// Baselines in scheme order (gen-0 evaluation order).
+	for _, s := range scored {
+		if baselineKeys[s.Candidate.Key()] {
+			r.Baselines = append(r.Baselines, s)
+		}
+	}
+	// The reference baseline is the hcperf one when present (the paper's
+	// configuration), else the first baseline.
+	var ref *Scored
+	for i := range r.Baselines {
+		if r.Baselines[i].Candidate.Scheme == "hcperf" {
+			ref = &r.Baselines[i]
+			break
+		}
+	}
+	if ref == nil && len(r.Baselines) > 0 {
+		ref = &r.Baselines[0]
+	}
+	for _, o := range opts.Objectives {
+		best := scored[0]
+		for _, s := range scored[1:] {
+			v, b := s.Metrics.value(o.Name), best.Metrics.value(o.Name)
+			if (o.Maximize && v > b) || (!o.Maximize && v < b) {
+				best = s
+			}
+		}
+		e := BestEntry{Objective: o.Name, Value: best.Metrics.value(o.Name), Candidate: best.Candidate}
+		if ref != nil {
+			e.Baseline = ref.Metrics.value(o.Name)
+			if o.Maximize {
+				e.Improved = e.Value > e.Baseline
+			} else {
+				e.Improved = e.Value < e.Baseline
+			}
+		}
+		r.Best = append(r.Best, e)
+	}
+	return r
+}
+
+// JSON returns the report's canonical JSON encoding.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// fmtMetric renders one objective value compactly but losslessly enough
+// for table comparison.
+func fmtMetric(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Header returns the result table's column labels: candidate label,
+// scheme, one column per space parameter, one per objective.
+func (r *Report) Header() []string {
+	h := []string{"candidate", "scheme"}
+	for _, p := range r.Space.Params {
+		h = append(h, p.Name)
+	}
+	h = append(h, r.Objectives...)
+	return h
+}
+
+// row renders one scored candidate under a label.
+func (r *Report) row(label string, s Scored) []string {
+	row := []string{label, s.Candidate.Scheme}
+	for _, v := range s.Candidate.Values {
+		row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	for _, name := range r.Objectives {
+		row = append(row, fmtMetric(s.Metrics.value(name)))
+	}
+	return row
+}
+
+// Rows renders the baselines followed by the Pareto front, in canonical
+// order — the table the CLI prints and the ext-tune experiment pins.
+func (r *Report) Rows() [][]string {
+	var rows [][]string
+	for _, s := range r.Baselines {
+		rows = append(rows, r.row("default/"+s.Candidate.Scheme, s))
+	}
+	for i, s := range r.Front {
+		rows = append(rows, r.row(fmt.Sprintf("front-%02d", i), s))
+	}
+	return rows
+}
+
+// BestRows renders the per-objective best table: objective, best value,
+// baseline value, improvement marker, winning candidate.
+func (r *Report) BestRows() [][]string {
+	var rows [][]string
+	for _, b := range r.Best {
+		mark := "="
+		if b.Improved {
+			mark = "improved"
+		}
+		rows = append(rows, []string{
+			b.Objective, fmtMetric(b.Value), fmtMetric(b.Baseline), mark, b.Candidate.Key(),
+		})
+	}
+	return rows
+}

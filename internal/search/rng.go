@@ -1,0 +1,39 @@
+package search
+
+// rng is a splitmix64 stream — the same generator the fleet layer uses to
+// partition per-vehicle seeds. Strategies never share a stream across
+// generations: each generation derives a fresh stream from (seed, gen), so
+// a search replays identically regardless of how many proposals earlier
+// generations consumed.
+type rng struct{ state uint64 }
+
+// newRNG derives the generation-g stream of a search seeded with seed.
+func newRNG(seed int64, gen int) *rng {
+	// Decorrelate the two inputs with distinct odd constants before the
+	// stream starts; splitmix64's increment-then-mix output function does
+	// the rest.
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(gen+1)*0xBF58476D1CE4E5B9}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// intn returns a uniform int in [0, n). n must be positive; the modulo
+// bias is negligible for the grid sizes involved and, crucially, platform-
+// independent.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,236 @@
+package search
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy proposes candidates generation by generation. Implementations
+// must be deterministic functions of their arguments: all randomness comes
+// from the per-generation rng, and the evaluated history arrives in a
+// deterministic order — so a whole search replays bit-for-bit.
+type Strategy interface {
+	// Name returns the strategy's registry name.
+	Name() string
+	// Propose returns up to n candidates for generation g that are not
+	// already in seen (keys of evaluated candidates). Returning an empty
+	// slice ends the search (space exhausted or converged).
+	Propose(g, n int, sp *Space, r *rng, scored []Scored, objs []Objective, seen map[string]bool) []Candidate
+}
+
+// Strategy names.
+const (
+	StrategyRandom = "random"
+	StrategyGrid   = "grid"
+	StrategyEvolve = "evolve"
+)
+
+// StrategyNames lists the strategies in stable order.
+func StrategyNames() []string { return []string{StrategyEvolve, StrategyGrid, StrategyRandom} }
+
+// NewStrategy builds a strategy by name. mu and lambda parameterize the
+// evolutionary strategy and are ignored by the others.
+func NewStrategy(name string, mu, lambda int) (Strategy, error) {
+	switch name {
+	case StrategyRandom:
+		return randomStrategy{}, nil
+	case StrategyGrid:
+		return gridStrategy{}, nil
+	case StrategyEvolve:
+		if mu < 1 || lambda < 1 {
+			return nil, fmt.Errorf("search: evolve needs mu >= 1 and lambda >= 1, got %d/%d", mu, lambda)
+		}
+		return &evolveStrategy{mu: mu, lambda: lambda}, nil
+	default:
+		return nil, fmt.Errorf("search: unknown strategy %q (have %s)", name, strings.Join(StrategyNames(), ", "))
+	}
+}
+
+// sampleAttempts bounds the rejection sampling per wanted candidate; a
+// saturated space stops proposing instead of spinning.
+const sampleAttempts = 64
+
+// randomStrategy samples the grid uniformly, rejecting already-seen points.
+type randomStrategy struct{}
+
+func (randomStrategy) Name() string { return StrategyRandom }
+
+func (randomStrategy) Propose(g, n int, sp *Space, r *rng, scored []Scored, objs []Objective, seen map[string]bool) []Candidate {
+	return sampleRandom(n, sp, r, seen)
+}
+
+// sampleRandom draws up to n fresh grid candidates (shared by random
+// proposals and evolve's first generation). The local batch map keeps one
+// batch free of internal duplicates.
+func sampleRandom(n int, sp *Space, r *rng, seen map[string]bool) []Candidate {
+	var out []Candidate
+	batch := make(map[string]bool)
+	idx := make([]int, len(sp.Params))
+	for len(out) < n {
+		found := false
+		for attempt := 0; attempt < sampleAttempts; attempt++ {
+			scheme := sp.Schemes[r.intn(len(sp.Schemes))]
+			for i, p := range sp.Params {
+				idx[i] = r.intn(p.Levels())
+			}
+			c := sp.candidateAt(scheme, idx)
+			k := c.Key()
+			if seen[k] || batch[k] {
+				continue
+			}
+			batch[k] = true
+			out = append(out, c)
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+	}
+	return out
+}
+
+// gridStrategy enumerates the full grid in canonical order — scheme-major,
+// then mixed-radix over the dimensions with the last dimension fastest —
+// skipping evaluated points. With enough budget it is exhaustive.
+type gridStrategy struct{}
+
+func (gridStrategy) Name() string { return StrategyGrid }
+
+func (gridStrategy) Propose(g, n int, sp *Space, r *rng, scored []Scored, objs []Objective, seen map[string]bool) []Candidate {
+	var out []Candidate
+	idx := make([]int, len(sp.Params))
+	for _, scheme := range sp.Schemes {
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			c := sp.candidateAt(scheme, idx)
+			if !seen[c.Key()] {
+				out = append(out, c)
+				if len(out) >= n {
+					return out
+				}
+			}
+			// Mixed-radix increment, last dimension fastest.
+			d := len(idx) - 1
+			for d >= 0 {
+				idx[d]++
+				if idx[d] < sp.Params[d].Levels() {
+					break
+				}
+				idx[d] = 0
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// evolveStrategy is a (μ+λ) evolutionary loop: parents are the μ best
+// candidates under non-dominated sorting of everything evaluated so far
+// (elitist — parents persist via the scored history), children are made by
+// uniform crossover of two parents plus per-dimension grid-step mutation.
+type evolveStrategy struct {
+	mu, lambda int
+}
+
+func (e *evolveStrategy) Name() string { return StrategyEvolve }
+
+func (e *evolveStrategy) Propose(g, n int, sp *Space, r *rng, scored []Scored, objs []Objective, seen map[string]bool) []Candidate {
+	if n > e.lambda {
+		n = e.lambda
+	}
+	if g == 0 || len(scored) == 0 {
+		return sampleRandom(n, sp, r, seen)
+	}
+	parents := rankAll(scored, objs)
+	if len(parents) > e.mu {
+		parents = parents[:e.mu]
+	}
+	var out []Candidate
+	batch := make(map[string]bool)
+	for len(out) < n {
+		found := false
+		for attempt := 0; attempt < sampleAttempts; attempt++ {
+			a := parents[r.intn(len(parents))].Candidate
+			b := parents[r.intn(len(parents))].Candidate
+			c := e.cross(sp, r, a, b)
+			e.mutate(sp, r, &c)
+			k := c.Key()
+			if seen[k] || batch[k] {
+				continue
+			}
+			batch[k] = true
+			out = append(out, c)
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+	}
+	return out
+}
+
+// cross performs uniform crossover: each dimension (and the scheme) comes
+// from either parent with equal probability.
+func (e *evolveStrategy) cross(sp *Space, r *rng, a, b Candidate) Candidate {
+	c := Candidate{Scheme: a.Scheme, Values: append([]float64(nil), a.Values...)}
+	if r.intn(2) == 1 {
+		c.Scheme = b.Scheme
+	}
+	for i := range c.Values {
+		if r.intn(2) == 1 {
+			c.Values[i] = b.Values[i]
+		}
+	}
+	return c
+}
+
+// mutate steps a random subset of dimensions by ±1..2 grid levels and
+// occasionally re-rolls the scheme. Off-grid parent values (the baseline
+// candidate) snap to the nearest grid level first, so the walk stays on
+// the quantized lattice.
+func (e *evolveStrategy) mutate(sp *Space, r *rng, c *Candidate) {
+	pMut := 1.0 / float64(len(sp.Params)+1)
+	for i, p := range sp.Params {
+		if r.float() >= pMut {
+			continue
+		}
+		idx := nearestLevel(p, c.Values[i])
+		step := 1 + r.intn(2)
+		if r.intn(2) == 1 {
+			step = -step
+		}
+		idx += step
+		if idx < 0 {
+			idx = 0
+		}
+		if max := p.Levels() - 1; idx > max {
+			idx = max
+		}
+		c.Values[i] = p.Value(idx)
+	}
+	if len(sp.Schemes) > 1 && r.float() < pMut {
+		c.Scheme = sp.Schemes[r.intn(len(sp.Schemes))]
+	}
+}
+
+// nearestLevel returns the grid index whose value is closest to v.
+func nearestLevel(p Param, v float64) int {
+	if p.Step <= 0 {
+		return 0
+	}
+	idx := int((v-p.Min)/p.Step + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if max := p.Levels() - 1; idx > max {
+		idx = max
+	}
+	return idx
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"hcperf/internal/runner"
+	"hcperf/internal/search"
 )
 
 // Sentinel errors Submit maps to HTTP statuses.
@@ -59,6 +60,11 @@ type Job struct {
 	// Req is the normalized request.
 	Req RunRequest
 
+	// seq is the submission order number, assigned under the manager's
+	// mutex; queue position is the count of still-queued jobs with a
+	// smaller seq.
+	seq uint64
+
 	mu        sync.Mutex
 	state     JobState
 	result    *RunResult
@@ -66,6 +72,7 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	progress  *search.Progress // optimize jobs: latest generation snapshot
 
 	// done is closed exactly once when the job reaches a terminal
 	// state; waiters (tests, long-poll handlers) select on it.
@@ -82,16 +89,31 @@ type JobSnapshot struct {
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
+	// Progress is the latest generation snapshot of a running optimize
+	// job (nil otherwise).
+	Progress *search.Progress
 }
 
 // Snapshot returns a consistent view of the job.
 func (j *Job) Snapshot() JobSnapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobSnapshot{
+	snap := JobSnapshot{
 		ID: j.ID, Req: j.Req, State: j.state, Result: j.result, Err: j.err,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 	}
+	if j.progress != nil {
+		p := *j.progress
+		snap.Progress = &p
+	}
+	return snap
+}
+
+// setProgress records an optimize job's latest generation snapshot.
+func (j *Job) setProgress(p search.Progress) {
+	j.mu.Lock()
+	j.progress = &p
+	j.mu.Unlock()
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -160,6 +182,7 @@ type Manager struct {
 	jobs     map[string]*Job // every known job: queued, running, and cached terminal
 	cache    *lruCache       // recency order over terminal jobs only
 	queue    chan *Job
+	seq      uint64 // submission counter; orders queue positions
 	draining bool
 
 	wg sync.WaitGroup
@@ -220,6 +243,26 @@ func (m *Manager) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// QueuePosition returns how many jobs are ahead of id in the submission
+// queue (0 = next to run), or -1 when the job is unknown or no longer
+// queued. Position is derived from submission order, so it only ever
+// shrinks as the pool drains.
+func (m *Manager) QueuePosition(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || j.Snapshot().State != StateQueued {
+		return -1
+	}
+	pos := 0
+	for _, other := range m.jobs {
+		if other != j && other.seq < j.seq && other.Snapshot().State == StateQueued {
+			pos++
+		}
+	}
+	return pos
+}
+
 // Submit routes one normalized request: identical to a cached terminal run
 // → that run (LRU refreshed); identical to a queued/running run → that run
 // (singleflight dedup); otherwise a fresh job, unless the queue is full
@@ -241,7 +284,8 @@ func (m *Manager) Submit(req RunRequest) (*Job, SubmitOutcome, error) {
 		m.metrics.Rejected.Add(1)
 		return nil, 0, ErrDraining
 	}
-	j := &Job{ID: id, Req: req, state: StateQueued, submitted: time.Now(), done: make(chan struct{})}
+	m.seq++
+	j := &Job{ID: id, Req: req, seq: m.seq, state: StateQueued, submitted: time.Now(), done: make(chan struct{})}
 	select {
 	case m.queue <- j:
 	default:
@@ -269,7 +313,18 @@ func (m *Manager) runJob(j *Job) {
 	start := time.Now()
 	j.setRunning(start)
 	m.metrics.InFlight.Add(1)
-	results, err := runner.Map(m.baseCtx, 1, []RunRequest{j.Req}, m.run)
+	ctx := m.baseCtx
+	if j.Req.Optimize != nil {
+		// OnProgress fires on the evaluating goroutine, one generation at
+		// a time, so the previous-snapshot state needs no lock.
+		var prev search.Progress
+		ctx = withProgress(ctx, func(p search.Progress) {
+			m.metrics.ObserveOptimize(p, prev)
+			prev = p
+			j.setProgress(p)
+		})
+	}
+	results, err := runner.Map(ctx, 1, []RunRequest{j.Req}, m.run)
 	m.metrics.InFlight.Add(-1)
 	elapsed := time.Since(start)
 

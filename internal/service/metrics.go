@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"hcperf/internal/search"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the run-duration
@@ -43,14 +45,21 @@ type Metrics struct {
 	Completed, Failed, Cancelled atomic.Uint64
 	// InFlight is the number of executions currently running.
 	InFlight atomic.Int64
+	// OptimizeCandidates counts candidate evaluations across all optimize
+	// jobs; OptimizeGenerations counts completed search generations.
+	OptimizeCandidates, OptimizeGenerations atomic.Uint64
 
-	mu      sync.Mutex
-	latency map[string]*histogram // per experiment/scenario kind
+	mu           sync.Mutex
+	latency      map[string]*histogram // per experiment/scenario kind
+	optimizeBest map[string]float64    // best-so-far per objective, across optimize jobs
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{latency: make(map[string]*histogram)}
+	return &Metrics{
+		latency:      make(map[string]*histogram),
+		optimizeBest: make(map[string]float64),
+	}
 }
 
 // ObserveLatency records one completed execution's wall-clock duration
@@ -64,6 +73,36 @@ func (m *Metrics) ObserveLatency(kind string, seconds float64) {
 		m.latency[kind] = h
 	}
 	h.observe(seconds)
+}
+
+// objectiveMaximize maps each search objective to its orientation, so the
+// best-so-far gauge aggregates across jobs in the right direction.
+var objectiveMaximize = func() map[string]bool {
+	out := make(map[string]bool)
+	for _, o := range search.AllObjectives() {
+		out[o.Name] = o.Maximize
+	}
+	return out
+}()
+
+// ObserveOptimize folds one optimize job's generation snapshot into the
+// counters: candidate/generation deltas against the job's previous snapshot
+// and the cross-job best-so-far per objective.
+func (m *Metrics) ObserveOptimize(p, prev search.Progress) {
+	if d := p.Evaluated - prev.Evaluated; d > 0 {
+		m.OptimizeCandidates.Add(uint64(d))
+	}
+	if d := p.Generations - prev.Generations; d > 0 {
+		m.OptimizeGenerations.Add(uint64(d))
+	}
+	m.mu.Lock()
+	for name, v := range p.Best {
+		cur, ok := m.optimizeBest[name]
+		if !ok || (objectiveMaximize[name] && v > cur) || (!objectiveMaximize[name] && v < cur) {
+			m.optimizeBest[name] = v
+		}
+	}
+	m.mu.Unlock()
 }
 
 // WritePrometheus renders every metric in Prometheus text exposition
@@ -92,6 +131,23 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) error {
 	counter("hcperf_runs_completed_total", "Executions that finished successfully.", m.Completed.Load())
 	counter("hcperf_runs_failed_total", "Executions that finished with an error.", m.Failed.Load())
 	counter("hcperf_runs_cancelled_total", "Executions cancelled by shutdown before or while running.", m.Cancelled.Load())
+	counter("hcperf_optimize_candidates_total", "Candidate evaluations across all optimize jobs.", m.OptimizeCandidates.Load())
+	counter("hcperf_optimize_generations_total", "Completed search generations across all optimize jobs.", m.OptimizeGenerations.Load())
+
+	m.mu.Lock()
+	if len(m.optimizeBest) > 0 {
+		names := make([]string, 0, len(m.optimizeBest))
+		for name := range m.optimizeBest {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		add("# HELP hcperf_optimize_best Best objective value found across all optimize jobs.\n")
+		add("# TYPE hcperf_optimize_best gauge\n")
+		for _, name := range names {
+			add("hcperf_optimize_best{objective=%q} %g\n", name, m.optimizeBest[name])
+		}
+	}
+	m.mu.Unlock()
 
 	m.mu.Lock()
 	kinds := make([]string, 0, len(m.latency))

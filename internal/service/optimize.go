@@ -1,0 +1,57 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"hcperf/internal/experiment"
+	"hcperf/internal/search"
+)
+
+// progressKey carries a per-job progress sink through the execution
+// context: the manager installs the sink in runJob, and runOptimize hands
+// it to search.Run as the OnProgress callback. Progress therefore flows
+// Job-ward without the search subsystem knowing about jobs.
+type progressKey struct{}
+
+// withProgress attaches a progress sink to ctx.
+func withProgress(ctx context.Context, fn func(search.Progress)) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom extracts the sink, or nil when none is attached (direct
+// Execute calls outside the manager).
+func progressFrom(ctx context.Context) func(search.Progress) {
+	fn, _ := ctx.Value(progressKey{}).(func(search.Progress))
+	return fn
+}
+
+// runOptimize executes one normalized optimize request. The search fans its
+// candidate evaluations across GOMAXPROCS workers (determinism is
+// worker-count independent by the runner harness), and the resulting Pareto
+// report is wrapped as an experiment.Report so optimize runs flow through
+// the same result cache, digesting and rendering as every other run kind.
+func runOptimize(ctx context.Context, req RunRequest) (*RunResult, error) {
+	rep, err := req.Optimize.Run(ctx, 0, progressFrom(ctx))
+	if err != nil {
+		return nil, err
+	}
+	exp := &experiment.Report{
+		ID: "optimize-" + req.Optimize.Spec.Scenario,
+		Title: fmt.Sprintf("Coordinator policy search (%s, budget %d, %d seeds)",
+			req.Optimize.Strategy, req.Optimize.Budget, req.Optimize.Seeds),
+		Header: rep.Header(),
+		Rows:   rep.Rows(),
+	}
+	for _, b := range rep.Best {
+		verdict := "no improvement over the paper defaults"
+		if b.Improved {
+			verdict = fmt.Sprintf("improves on the paper defaults (%s)", fmtBest(b.Baseline))
+		}
+		exp.Notes = append(exp.Notes, fmt.Sprintf("%s: best %s — %s", b.Objective, fmtBest(b.Value), verdict))
+	}
+	return &RunResult{Report: exp, Optimize: rep}, nil
+}
+
+// fmtBest renders one objective value for the notes.
+func fmtBest(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestQueuePositionAndSubmittedTimestamp pins satellite behaviour of the
+// job-status surface: queued jobs report their position in submission
+// order, the position drains as workers free up, and every status carries
+// the enqueue timestamp.
+func TestQueuePositionAndSubmittedTimestamp(t *testing.T) {
+	fake := newFakeRunner(true)
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueSize: 8, Run: fake.Run})
+
+	// First job occupies the single worker.
+	code, running, _ := postRun(t, ts, `{"experiment": "fig5", "seed": 1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1 = %d, want 202", code)
+	}
+	<-fake.started
+
+	// Two more queue up behind it, in submission order.
+	_, second, _ := postRun(t, ts, `{"experiment": "fig5", "seed": 2}`)
+	_, third, _ := postRun(t, ts, `{"experiment": "fig5", "seed": 3}`)
+
+	for _, st := range []runStatus{running, second, third} {
+		if st.Submitted == "" {
+			t.Errorf("job %s missing submitted timestamp", st.ID)
+		} else if _, err := time.Parse(time.RFC3339Nano, st.Submitted); err != nil {
+			t.Errorf("job %s submitted %q not RFC3339: %v", st.ID, st.Submitted, err)
+		}
+	}
+	if second.QueuePosition == nil || *second.QueuePosition != 0 {
+		t.Fatalf("second job queue position = %v, want 0", second.QueuePosition)
+	}
+	if third.QueuePosition == nil || *third.QueuePosition != 1 {
+		t.Fatalf("third job queue position = %v, want 1", third.QueuePosition)
+	}
+
+	// The running job reports no position.
+	var got runStatus
+	if code := getJSON(t, ts.URL+"/v1/runs/"+running.ID, &got); code != http.StatusOK {
+		t.Fatalf("get running = %d", code)
+	}
+	if got.QueuePosition != nil {
+		t.Fatalf("running job has queue position %d", *got.QueuePosition)
+	}
+
+	// Releasing the worker drains the queue; the third job's position
+	// reaches zero before it runs, then disappears once it finishes.
+	close(fake.release)
+	for _, st := range []runStatus{running, second, third} {
+		job, ok := srv.Manager().Job(st.ID)
+		if !ok {
+			t.Fatalf("job %s not found", st.ID)
+		}
+		<-job.Done()
+	}
+	if code := getJSON(t, ts.URL+"/v1/runs/"+third.ID, &got); code != http.StatusOK {
+		t.Fatalf("get third = %d", code)
+	}
+	if got.State != StateDone || got.QueuePosition != nil {
+		t.Fatalf("finished job status = %+v, want done with no queue position", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"hcperf/internal/experiment"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/scenario"
+	"hcperf/internal/search"
 )
 
 // RunRequest is the body of POST /v1/runs: a registered experiment (the
@@ -30,6 +31,12 @@ type RunRequest struct {
 	// coordinator knobs. Mutually exclusive with Experiment and
 	// Scenario; Scheme, Seed and Duration then live inside the spec.
 	Spec *scenario.Spec `json:"spec,omitempty"`
+	// Optimize is an inline policy-search request (search.Request): a
+	// spec template plus a parameter space, strategy and budget. Mutually
+	// exclusive with the other three kinds; everything — template spec,
+	// seed, budget — lives inside the optimize request. POST /v1/optimize
+	// is shorthand for submitting one of these.
+	Optimize *search.Request `json:"optimize,omitempty"`
 	// Scheme selects the scheduling scheme for scenario runs (default
 	// "hcperf"): hpf | edf | edfvd | apollo | hcperf | hcperf-internal.
 	Scheme string `json:"scheme,omitempty"`
@@ -59,13 +66,26 @@ var scenarioNames = func() map[string]bool {
 // same digest).
 func (r RunRequest) Normalize() (RunRequest, error) {
 	set := 0
-	for _, on := range []bool{r.Experiment != "", r.Scenario != "", r.Spec != nil} {
+	for _, on := range []bool{r.Experiment != "", r.Scenario != "", r.Spec != nil, r.Optimize != nil} {
 		if on {
 			set++
 		}
 	}
 	if set != 1 {
-		return r, fmt.Errorf("exactly one of experiment, scenario or spec must be set")
+		return r, fmt.Errorf("exactly one of experiment, scenario, spec or optimize must be set")
+	}
+	if r.Optimize != nil {
+		// The template spec, seed and budget all live inside the optimize
+		// request; zero request-level copies cannot split the cache.
+		if r.Scheme != "" || r.Seed != 0 || r.Duration != 0 || r.Trace {
+			return r, fmt.Errorf("optimize runs take scheme, seed, duration and trace inside the optimize request")
+		}
+		rq, err := r.Optimize.Normalize()
+		if err != nil {
+			return r, err
+		}
+		r.Optimize = &rq
+		return r, nil
 	}
 	if r.Spec != nil {
 		// Scheme, seed and duration live inside the spec; zero the
@@ -127,6 +147,15 @@ func (r RunRequest) Digest() string {
 		}
 		fmt.Fprintf(h, ";spec=%s", b)
 	}
+	if r.Optimize != nil {
+		// The request is already normalized, so Marshal is its canonical
+		// encoding (search.Request.Normalize is a fixed point).
+		b, err := json.Marshal(r.Optimize)
+		if err != nil {
+			panic(fmt.Sprintf("service: marshal normalized optimize request: %v", err))
+		}
+		fmt.Fprintf(h, ";opt=%s", b)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -136,6 +165,8 @@ func (r RunRequest) Kind() string {
 	switch {
 	case r.Experiment != "":
 		return r.Experiment
+	case r.Optimize != nil:
+		return "optimize:" + r.Optimize.Spec.Scenario
 	case r.Spec != nil:
 		return "spec:" + r.Spec.Scenario
 	default:
@@ -144,10 +175,12 @@ func (r RunRequest) Kind() string {
 }
 
 // RunResult is a completed run: the rendered report plus, for traced
-// scenario runs, the captured lifecycle events.
+// scenario runs, the captured lifecycle events and, for optimize runs, the
+// structured search report.
 type RunResult struct {
-	Report *experiment.Report
-	Events []lifecycle.Event
+	Report   *experiment.Report
+	Events   []lifecycle.Event
+	Optimize *search.Report
 }
 
 // RunFunc executes one normalized request. The manager's default is
@@ -155,10 +188,14 @@ type RunResult struct {
 type RunFunc func(ctx context.Context, req RunRequest) (*RunResult, error)
 
 // Execute runs a normalized request for real: registry experiments go
-// through experiment.Run, scenario and spec requests through the scenario
-// package's spec runner (capturing lifecycle events into a bounded ring
-// when Trace is set).
-func Execute(_ context.Context, req RunRequest) (*RunResult, error) {
+// through experiment.Run, optimize requests through the search subsystem
+// (reporting generation progress through the ctx-carried sink), and
+// scenario and spec requests through the scenario package's spec runner
+// (capturing lifecycle events into a bounded ring when Trace is set).
+func Execute(ctx context.Context, req RunRequest) (*RunResult, error) {
+	if req.Optimize != nil {
+		return runOptimize(ctx, req)
+	}
 	if req.Experiment != "" {
 		rep, err := experiment.Run(req.Experiment, req.Seed)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"hcperf/internal/experiment"
 	"hcperf/internal/lifecycle"
+	"hcperf/internal/search"
 	"hcperf/internal/version"
 )
 
@@ -44,6 +45,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleGetTrace)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /v1/optimize/{id}", s.handleGetRun)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -85,24 +88,43 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the status line is already written; nothing left to do on error
 }
 
-// runStatus is the response body of POST /v1/runs and GET /v1/runs/{id}.
+// runStatus is the response body of POST /v1/runs, POST /v1/optimize and
+// the corresponding GETs.
 type runStatus struct {
-	ID        string           `json:"id"`
-	State     JobState         `json:"state"`
-	Request   RunRequest       `json:"request"`
-	Cached    bool             `json:"cached,omitempty"`
-	Deduped   bool             `json:"deduped,omitempty"`
-	ElapsedMS float64          `json:"elapsed_ms,omitempty"`
-	Digest    string           `json:"report_digest,omitempty"`
-	Report    *experiment.View `json:"report,omitempty"`
-	TraceLen  int              `json:"trace_events,omitempty"`
-	Error     string           `json:"error,omitempty"`
+	ID      string     `json:"id"`
+	State   JobState   `json:"state"`
+	Request RunRequest `json:"request"`
+	Cached  bool       `json:"cached,omitempty"`
+	Deduped bool       `json:"deduped,omitempty"`
+	// Submitted is the enqueue timestamp (RFC 3339, UTC).
+	Submitted string `json:"submitted,omitempty"`
+	// QueuePosition is how many jobs are ahead of this one while it is
+	// queued (0 = next to run); absent once it starts. A pointer so that
+	// position zero still renders.
+	QueuePosition *int             `json:"queue_position,omitempty"`
+	ElapsedMS     float64          `json:"elapsed_ms,omitempty"`
+	Digest        string           `json:"report_digest,omitempty"`
+	Report        *experiment.View `json:"report,omitempty"`
+	// Progress is the latest generation snapshot of a running optimize
+	// job; Optimize is the structured search report once it completes.
+	Progress *search.Progress `json:"progress,omitempty"`
+	Optimize *search.Report   `json:"optimize,omitempty"`
+	TraceLen int              `json:"trace_events,omitempty"`
+	Error    string           `json:"error,omitempty"`
 }
 
 // status renders a job snapshot; includeSeries controls whether the raw
 // time series ride along (GET with ?series=1).
-func status(snap JobSnapshot, includeSeries bool) runStatus {
-	st := runStatus{ID: snap.ID, State: snap.State, Request: snap.Req}
+func (s *Server) status(snap JobSnapshot, includeSeries bool) runStatus {
+	st := runStatus{ID: snap.ID, State: snap.State, Request: snap.Req, Progress: snap.Progress}
+	if !snap.Submitted.IsZero() {
+		st.Submitted = snap.Submitted.UTC().Format(time.RFC3339Nano)
+	}
+	if snap.State == StateQueued {
+		if pos := s.mgr.QueuePosition(snap.ID); pos >= 0 {
+			st.QueuePosition = &pos
+		}
+	}
 	if !snap.Finished.IsZero() && !snap.Started.IsZero() {
 		st.ElapsedMS = float64(snap.Finished.Sub(snap.Started)) / float64(time.Millisecond)
 	}
@@ -114,6 +136,7 @@ func status(snap JobSnapshot, includeSeries bool) runStatus {
 		if d, err := snap.Result.Report.Digest(); err == nil {
 			st.Digest = d
 		}
+		st.Optimize = snap.Result.Optimize
 		st.TraceLen = len(snap.Result.Events)
 	}
 	return st
@@ -127,6 +150,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
+	s.submit(w, req)
+}
+
+// handleOptimize accepts a bare search.Request body — shorthand for
+// POST /v1/runs with {"optimize": ...} — so tuning clients never deal with
+// the run-request envelope. The job lands in the same queue, cache and
+// digest namespace.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var rq search.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rq); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid optimize request body: %v", err)
+		return
+	}
+	s.submit(w, RunRequest{Optimize: &rq})
+}
+
+// submit normalizes and routes one request, writing the uniform submission
+// response: 202 for new/deduped jobs, 200 when served from cache.
+func (s *Server) submit(w http.ResponseWriter, req RunRequest) {
 	req, err := req.Normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
@@ -146,7 +190,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	st := status(job.Snapshot(), false)
+	st := s.status(job.Snapshot(), false)
 	st.Cached = outcome == SubmitCached
 	st.Deduped = outcome == SubmitDeduped
 	code := http.StatusAccepted
@@ -164,7 +208,7 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	includeSeries := r.URL.Query().Get("series") == "1"
-	writeJSON(w, http.StatusOK, status(job.Snapshot(), includeSeries))
+	writeJSON(w, http.StatusOK, s.status(job.Snapshot(), includeSeries))
 }
 
 func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
