@@ -9,7 +9,7 @@ GO ?= go
 RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
              ./internal/engine/... ./internal/scenario/... ./internal/rt/... \
              ./internal/lifecycle/... ./internal/service/... ./internal/fleet/... \
-             ./internal/search/...
+             ./internal/search/... ./internal/run/... ./internal/store/...
 
 .PHONY: ci vet build test race bench bench-json bench-check bench-update fuzz suite trace-demo serve
 

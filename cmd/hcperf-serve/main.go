@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hcperf-serve [-addr :8080] [-workers 4] [-queue 64] [-cache 128] [-drain 10s]
+//	hcperf-serve [-addr :8080] [-workers 4] [-queue 64] [-cache 128] [-store dir] [-drain 10s]
 //	hcperf-serve -version
 //
 // Endpoints:
@@ -15,11 +15,20 @@
 //	                              {"scenario":"carfollow","scheme":"edf","trace":true}
 //	GET  /v1/runs/{id}            status + report (append ?series=1 for raw series)
 //	GET  /v1/runs/{id}/trace      lifecycle trace (?format=csv or chrome)
+//	POST /v1/sweeps               spec template × parameter grid, streamed as SSE
 //	GET  /v1/experiments          registry listing
 //	GET  /v1/version              build identity
 //	GET  /healthz                 liveness (503 while draining)
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /debug/pprof/            runtime profiles
+//
+// With -store, completed results additionally persist to a disk-backed
+// content-addressed store (one file per request digest), so identical
+// submissions are served across restarts — and across processes: the store
+// format is shared with hcperf-sim -store, so a CLI run pre-warms the
+// server's cache and vice versa. Responses carry an X-HCPerf-Cache header
+// (miss | memory | disk) naming the tier that answered. An unusable store
+// directory logs a warning and degrades to memory-only serving.
 //
 // SIGINT/SIGTERM begins a graceful drain: the listener stops accepting,
 // queued and in-flight runs get -drain to finish, then the process exits.
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"hcperf/internal/service"
+	"hcperf/internal/store"
 	"hcperf/internal/version"
 )
 
@@ -48,6 +58,7 @@ func main() {
 		workers     = flag.Int("workers", 4, "execution worker pool size")
 		queue       = flag.Int("queue", 64, "submission queue bound (full queue sheds with 429)")
 		cache       = flag.Int("cache", 128, "completed-run LRU cache size")
+		storeDir    = flag.String("store", "", "disk-backed result store directory (persists across restarts; shared with hcperf-sim -store)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
 		showVersion = flag.Bool("version", false, "print build identity and exit")
 	)
@@ -56,20 +67,32 @@ func main() {
 		fmt.Println(version.Get())
 		return
 	}
-	if err := run(*addr, *workers, *queue, *cache, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *cache, *storeDir, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, drain time.Duration) error {
+func run(addr string, workers, queue, cache int, storeDir string, drain time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	cfg := service.Config{Workers: workers, QueueSize: queue, CacheSize: cache}
+	if storeDir != "" {
+		// A store that cannot be opened (read-only volume, path under a
+		// file) costs persistence, not availability: log and serve
+		// memory-only.
+		d, err := store.OpenDisk(storeDir, 0, nil)
+		if err != nil {
+			log.Printf("hcperf-serve: %v; continuing memory-only", err)
+		} else {
+			cfg.Disk = d
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, ln, service.Config{Workers: workers, QueueSize: queue, CacheSize: cache}, drain)
+	return serve(ctx, ln, cfg, drain)
 }
 
 // serve runs the service on ln until ctx is cancelled (SIGINT/SIGTERM in
@@ -85,8 +108,12 @@ func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("hcperf-serve %s listening on %s (workers=%d queue=%d cache=%d)",
-			version.Get(), ln.Addr(), cfg.Workers, cfg.QueueSize, cfg.CacheSize)
+		storeInfo := "memory-only"
+		if cfg.Disk != nil {
+			storeInfo = cfg.Disk.Dir()
+		}
+		log.Printf("hcperf-serve %s listening on %s (workers=%d queue=%d cache=%d store=%s)",
+			version.Get(), ln.Addr(), cfg.Workers, cfg.QueueSize, cfg.CacheSize, storeInfo)
 		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return

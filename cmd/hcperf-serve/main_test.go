@@ -6,11 +6,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"hcperf/internal/service"
+	"hcperf/internal/store"
 )
 
 // TestServeLifecycle boots the binary's serve loop on an ephemeral port,
@@ -121,6 +123,97 @@ func TestServeLifecycle(t *testing.T) {
 	// The listener is gone after drain.
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("server still answering after drain")
+	}
+}
+
+// TestServeStorePersistsAcrossRestart boots the serve loop twice over one
+// -store directory: a run completed by the first process must be answered
+// by the second from the disk tier (X-HCPerf-Cache: disk) without
+// re-executing — the binary-level restart-persistence contract the CI
+// smoke also exercises end to end.
+func TestServeStorePersistsAcrossRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	openStore := func() *store.Disk {
+		t.Helper()
+		d, err := store.OpenDisk(dir, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	boot := func(d *store.Disk) (string, context.CancelFunc, chan error) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- serve(ctx, ln, service.Config{Workers: 1, QueueSize: 8, Disk: d}, 30*time.Second)
+		}()
+		return "http://" + ln.Addr().String(), cancel, done
+	}
+	post := func(base string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/runs", "application/json",
+			strings.NewReader(`{"experiment": "fig5"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp, m
+	}
+
+	base, cancel, done := boot(openStore())
+	resp, body := post(base)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", resp.StatusCode)
+	}
+	id, _ := body["id"].(string)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(base + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run still %s after deadline", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first serve drain: %v", err)
+	}
+
+	// The restarted process answers the identical submission from disk.
+	base2, cancel2, done2 := boot(openStore())
+	resp2, body2 := post(base2)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-HCPerf-Cache") != "disk" {
+		t.Fatalf("restarted POST = (%d, X-HCPerf-Cache %q), want 200/disk",
+			resp2.StatusCode, resp2.Header.Get("X-HCPerf-Cache"))
+	}
+	if body2["cached"] != true || body2["cache"] != "disk" {
+		t.Fatalf("restarted body = %v, want cached:true cache:disk", body2)
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second serve drain: %v", err)
 	}
 }
 

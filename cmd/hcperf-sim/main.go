@@ -13,11 +13,18 @@
 //	hcperf-sim -scenario jam       -scheme hcperf
 //	hcperf-sim -scenario combined  -scheme hcperf      # dual-control graph
 //	hcperf-sim -spec examples/specs/fusion-overload.json  # declarative spec
+//	hcperf-sim -store results/ -scenario carfollow     # persist + replay results
 //	hcperf-sim -mode rt -duration 5 -scheme hcperf     # wall-clock executor
 //	hcperf-sim -mode suite -parallel 4                 # full experiment suite
 //	hcperf-sim -mode suite -replicas 8                 # batched multi-seed sweeps
 //	hcperf-sim -mode tune -budget 32 -parallel 0       # coordinator policy search
 //	hcperf-sim -mode tune -spec tpl.json -strategy grid -report tune.json
+//
+// Every deterministic mode (sim, spec, suite, tune) goes through the
+// internal/run pipeline: the request is normalized and content-addressed,
+// and with -store the result persists to a disk store shared byte-for-byte
+// with hcperf-serve -store — a CLI run pre-warms the server's cache and a
+// server-computed result replays here without recomputation.
 package main
 
 import (
@@ -31,13 +38,15 @@ import (
 
 	"hcperf/internal/dag"
 	"hcperf/internal/experiment"
-	"hcperf/internal/fleet"
 	"hcperf/internal/lifecycle"
 	"hcperf/internal/rt"
+	runpkg "hcperf/internal/run"
+	"hcperf/internal/runner"
 	"hcperf/internal/scenario"
 	"hcperf/internal/sched"
 	"hcperf/internal/search"
 	"hcperf/internal/simtime"
+	"hcperf/internal/store"
 	"hcperf/internal/version"
 )
 
@@ -50,6 +59,7 @@ func main() {
 		csvPath      = flag.String("csv", "", "write recorded series to this CSV file")
 		tracePath    = flag.String("trace", "", "write per-job lifecycle events to this file (.csv = CSV, else Chrome trace JSON)")
 		specPath     = flag.String("spec", "", "run a declarative scenario spec from this JSON file (overrides -scenario/-scheme/-seed/-duration)")
+		storeDir     = flag.String("store", "", "persist results to this disk store directory (shared with hcperf-serve -store)")
 		mode         = flag.String("mode", "sim", "sim (discrete-event) | rt (wall clock) | suite (full experiment suite) | tune (coordinator policy search)")
 		parallel     = flag.Int("parallel", 1, "suite/tune worker count: N>=1 workers, 0 = GOMAXPROCS")
 		replicas     = flag.Int("replicas", 1, "suite sweep batch width: K>=2 advances K multi-seed replicas in lockstep per shared event queue")
@@ -65,27 +75,79 @@ func main() {
 		fmt.Println(version.Get())
 		return
 	}
-	if *mode == "tune" {
-		if err := runTune(*specPath, *scenarioName, *seed, *duration, *strategy, *objectives, *budget, *tuneSeeds, *parallel, *reportPath); err != nil {
-			fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
-			os.Exit(1)
-		}
-		return
+	opts := options{
+		Scenario: *scenarioName, Scheme: *schemeName,
+		Seed: *seed, Duration: *duration,
+		CSVPath: *csvPath, TracePath: *tracePath, SpecPath: *specPath,
+		StoreDir: *storeDir, Mode: *mode,
+		Parallel: *parallel, Replicas: *replicas,
+		Budget: *budget, Strategy: *strategy, TuneSeeds: *tuneSeeds,
+		Objectives: *objectives, ReportPath: *reportPath,
 	}
-	if err := run(*scenarioName, *schemeName, *seed, *duration, *csvPath, *tracePath, *specPath, *mode, *parallel, *replicas); err != nil {
+	var err error
+	if *mode == "tune" {
+		err = runTune(opts)
+	} else {
+		err = run(opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-sim:", err)
 		os.Exit(1)
 	}
 }
 
-// runTune performs a coordinator policy search: the spec (or -scenario
-// shorthand) is the template every candidate tuning is stamped onto, and
-// the result is the canonical Pareto front plus the per-objective best
-// versus the paper defaults.
-func runTune(specPath, scenarioName string, seed int64, duration float64, strategy, objectives string, budget, seeds, parallel int, reportPath string) error {
+// options carries one CLI invocation's resolved flags.
+type options struct {
+	Scenario, Scheme   string
+	Seed               int64
+	Duration           float64
+	CSVPath, TracePath string
+	SpecPath           string
+	StoreDir           string
+	Mode               string
+	Parallel, Replicas int
+
+	// Tune-mode knobs.
+	Budget, TuneSeeds    int
+	Strategy, Objectives string
+	ReportPath           string
+
+	// Metrics receives the store tier counters; nil gets a private set.
+	// Tests inject one to observe disk hits and misses.
+	Metrics *store.Metrics
+}
+
+// newPipeline builds this invocation's run pipeline: no memory tier (a CLI
+// process holds no resident results) and, when -store is set, the disk tier
+// shared byte-for-byte with hcperf-serve. An unusable store directory — the
+// read-only-volume failure mode — degrades to no persistence with a warning
+// rather than failing the run.
+func newPipeline(opts options) *runpkg.Pipeline {
+	m := opts.Metrics
+	if m == nil {
+		m = &store.Metrics{}
+	}
+	p := &runpkg.Pipeline{Metrics: m}
+	if opts.StoreDir != "" {
+		d, err := store.OpenDisk(opts.StoreDir, 0, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcperf-sim: %v; continuing without persistence\n", err)
+		} else {
+			p.Disk = d
+		}
+	}
+	return p
+}
+
+// runTune performs a coordinator policy search through the run pipeline:
+// the spec (or -scenario shorthand) is the template every candidate tuning
+// is stamped onto, and the result is the canonical Pareto front plus the
+// per-objective best versus the paper defaults. With -store an identical
+// search replays from disk instead of re-evaluating its candidate budget.
+func runTune(opts options) error {
 	var spec scenario.Spec
-	if specPath != "" {
-		f, err := os.Open(specPath)
+	if opts.SpecPath != "" {
+		f, err := os.Open(opts.SpecPath)
 		if err != nil {
 			return err
 		}
@@ -93,20 +155,20 @@ func runTune(specPath, scenarioName string, seed int64, duration float64, strate
 		spec, derr = scenario.DecodeSpec(f)
 		f.Close()
 		if derr != nil {
-			return fmt.Errorf("%s: %w", specPath, derr)
+			return fmt.Errorf("%s: %w", opts.SpecPath, derr)
 		}
 	} else {
-		spec = scenario.Spec{Scenario: scenarioName, Duration: duration}
+		spec = scenario.Spec{Scenario: opts.Scenario, Duration: opts.Duration}
 	}
 	rq := search.Request{
 		Spec:     spec,
-		Strategy: strategy,
-		Budget:   budget,
-		Seeds:    seeds,
-		Seed:     seed,
+		Strategy: opts.Strategy,
+		Budget:   opts.Budget,
+		Seeds:    opts.TuneSeeds,
+		Seed:     opts.Seed,
 	}
-	if objectives != "" {
-		rq.Objectives = strings.Split(objectives, ",")
+	if opts.Objectives != "" {
+		rq.Objectives = strings.Split(opts.Objectives, ",")
 	}
 	norm, err := rq.Normalize()
 	if err != nil {
@@ -115,11 +177,21 @@ func runTune(specPath, scenarioName string, seed int64, duration float64, strate
 	fmt.Printf("tune: %s template, strategy=%s budget=%d seeds=%d seed=%d\n",
 		norm.Spec.Scenario, norm.Strategy, norm.Budget, norm.Seeds, norm.Seed)
 	start := time.Now()
-	rep, err := norm.Run(context.Background(), parallel, func(p search.Progress) {
+	ctx := runpkg.WithProgress(context.Background(), func(p search.Progress) {
 		fmt.Printf("tune: gen %d done, %d/%d candidates evaluated\n", p.Generations, p.Evaluated, norm.Budget)
 	})
+	ctx = runpkg.WithParallelism(ctx, opts.Parallel)
+	p := newPipeline(opts)
+	res, tier, _, err := p.Run(ctx, runpkg.Request{Optimize: &norm})
 	if err != nil {
 		return err
+	}
+	rep := res.Optimize
+	if rep == nil {
+		return fmt.Errorf("tune: result carries no search report")
+	}
+	if tier == store.TierDisk {
+		fmt.Printf("tune: result replayed from %s (no candidates re-evaluated)\n", opts.StoreDir)
 	}
 	table := &experiment.Report{
 		ID:     "tune",
@@ -140,15 +212,15 @@ func runTune(specPath, scenarioName string, seed int64, duration float64, strate
 		return err
 	}
 	fmt.Printf("tune: %d candidates, %d generations, %.2fs\n", rep.Evaluated, rep.Generations, time.Since(start).Seconds())
-	if reportPath != "" {
+	if opts.ReportPath != "" {
 		b, err := rep.JSON()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(reportPath, append(b, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(opts.ReportPath, append(b, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("tune: report written to %s\n", reportPath)
+		fmt.Printf("tune: report written to %s\n", opts.ReportPath)
 	}
 	return nil
 }
@@ -158,14 +230,14 @@ func parseScheme(name string) (scenario.Scheme, error) {
 	return scenario.ParseScheme(name)
 }
 
-// traceCapacity bounds the in-memory lifecycle event buffer: at the
-// 23-task graph's aggregate job rate a full-length run fits comfortably,
+// traceCapacity bounds the in-memory lifecycle event buffer for rt mode: at
+// the 23-task graph's aggregate job rate a full-length run fits comfortably,
 // and overflow drops oldest-first with a warning rather than growing
-// without bound.
+// without bound. (Pipeline runs use internal/run's identical bound.)
 const traceCapacity = 1 << 20
 
-// newTraceRing returns the lifecycle collector for -trace, or nil when the
-// flag is unset.
+// newTraceRing returns the lifecycle collector for rt-mode -trace, or nil
+// when the flag is unset.
 func newTraceRing(tracePath string) (*lifecycle.Ring, error) {
 	if tracePath == "" {
 		return nil, nil
@@ -173,11 +245,11 @@ func newTraceRing(tracePath string) (*lifecycle.Ring, error) {
 	return lifecycle.NewRing(traceCapacity)
 }
 
-// writeTrace exports the collected lifecycle events: .csv gets the flat CSV
-// schema, anything else the Chrome trace-event JSON loadable in
+// writeTraceEvents exports collected lifecycle events: .csv gets the flat
+// CSV schema, anything else the Chrome trace-event JSON loadable in
 // chrome://tracing or Perfetto.
-func writeTrace(tracePath string, ring *lifecycle.Ring) error {
-	if ring == nil {
+func writeTraceEvents(tracePath string, events []lifecycle.Event) error {
+	if tracePath == "" {
 		return nil
 	}
 	f, err := os.Create(tracePath)
@@ -185,7 +257,6 @@ func writeTrace(tracePath string, ring *lifecycle.Ring) error {
 		return err
 	}
 	defer f.Close()
-	events := ring.Events()
 	if strings.HasSuffix(tracePath, ".csv") {
 		err = lifecycle.WriteCSV(f, events)
 	} else {
@@ -197,121 +268,148 @@ func writeTrace(tracePath string, ring *lifecycle.Ring) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if n := ring.Dropped(); n > 0 {
-		fmt.Printf("trace: %d oldest events dropped (buffer capacity %d)\n", n, traceCapacity)
-	}
 	fmt.Printf("%d lifecycle events written to %s\n", len(events), tracePath)
 	return nil
 }
 
-func run(scenarioName, schemeName string, seed int64, duration float64, csvPath, tracePath, specPath, mode string, parallel, replicas int) error {
-	if mode == "suite" || mode == "experiments" {
-		if tracePath != "" {
+func run(opts options) error {
+	if opts.Mode == "suite" || opts.Mode == "experiments" {
+		if opts.TracePath != "" {
 			return fmt.Errorf("-trace is not supported in suite mode")
 		}
-		if specPath != "" {
+		if opts.SpecPath != "" {
 			return fmt.Errorf("-spec is not supported in suite mode")
 		}
-		return runSuite(seed, parallel, replicas)
+		return runSuite(opts)
 	}
-	if replicas > 1 {
+	if opts.Replicas > 1 {
 		return fmt.Errorf("-replicas applies to suite mode only")
 	}
-	ring, err := newTraceRing(tracePath)
-	if err != nil {
-		return err
-	}
-	if mode == "rt" {
-		if specPath != "" {
+	if opts.Mode == "rt" {
+		if opts.SpecPath != "" {
 			return fmt.Errorf("-spec is not supported in rt mode")
 		}
-		scheme, err := parseScheme(schemeName)
+		if opts.StoreDir != "" {
+			return fmt.Errorf("-store is not supported in rt mode (wall-clock runs are not content-addressable)")
+		}
+		scheme, err := parseScheme(opts.Scheme)
 		if err != nil {
 			return err
 		}
-		if err := runWallClock(scheme, seed, duration, ring); err != nil {
+		ring, err := newTraceRing(opts.TracePath)
+		if err != nil {
 			return err
 		}
-		return writeTrace(tracePath, ring)
+		if err := runWallClock(scheme, opts.Seed, opts.Duration, ring); err != nil {
+			return err
+		}
+		if ring == nil {
+			return nil
+		}
+		if n := ring.Dropped(); n > 0 {
+			fmt.Printf("trace: %d oldest events dropped (buffer capacity %d)\n", n, traceCapacity)
+		}
+		return writeTraceEvents(opts.TracePath, ring.Events())
 	}
-	if mode != "sim" {
-		return fmt.Errorf("unknown mode %q", mode)
-	}
-	var tracer lifecycle.Tracer
-	if ring != nil {
-		tracer = ring
+	if opts.Mode != "sim" {
+		return fmt.Errorf("unknown mode %q", opts.Mode)
 	}
 
-	// Every sim run goes through the declarative spec path: the CLI flags
-	// are just shorthand for a minimal spec, and -spec supplies a full one
-	// from disk.
-	var spec scenario.Spec
-	if specPath != "" {
-		f, err := os.Open(specPath)
+	// Every sim run goes through the run pipeline: the CLI flags are just
+	// shorthand for a minimal request, and -spec supplies a full
+	// declarative spec from disk. fleet-aware execution, normalization,
+	// content addressing and the optional disk store are all the
+	// pipeline's.
+	req := runpkg.Request{Trace: opts.TracePath != ""}
+	if opts.SpecPath != "" {
+		f, err := os.Open(opts.SpecPath)
 		if err != nil {
 			return err
 		}
-		spec, err = scenario.DecodeSpec(f)
+		spec, derr := scenario.DecodeSpec(f)
 		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", specPath, err)
+		if derr != nil {
+			return fmt.Errorf("%s: %w", opts.SpecPath, derr)
 		}
+		req.Spec = &spec
 	} else {
-		spec = scenario.Spec{Scenario: scenarioName, Scheme: schemeName, Seed: seed, Duration: duration}
+		req.Scenario = opts.Scenario
+		req.Scheme = opts.Scheme
+		req.Seed = opts.Seed
+		req.Duration = opts.Duration
 	}
-	// fleet.RunSpec is fleet-aware: specs with a fleet block fan out to N
-	// vehicles on one shared clock; all others take the single-vehicle
-	// path unchanged.
-	r, err := fleet.RunSpec(spec, tracer)
+
+	p := newPipeline(opts)
+	res, tier, digest, err := p.Run(context.Background(), req)
 	if err != nil {
 		return err
 	}
-	fmt.Println(r.Title)
+	if tier == store.TierDisk {
+		fmt.Printf("replayed from store %s (digest %s)\n", opts.StoreDir, digest[:12])
+	}
+	rep := res.Report
+	fmt.Println(rep.Title)
 	width := 0
-	for _, row := range r.Rows {
+	for _, row := range rep.Rows {
 		if len(row[0]) > width {
 			width = len(row[0])
 		}
 	}
-	for _, row := range r.Rows {
+	for _, row := range rep.Rows {
 		fmt.Printf("%-*s  %s\n", width, row[0], row[1])
 	}
+	for _, note := range rep.Notes {
+		fmt.Println(note)
+	}
 
-	if csvPath != "" && r.Rec != nil {
-		f, err := os.Create(csvPath)
+	if opts.CSVPath != "" && rep.Series != nil {
+		f, err := os.Create(opts.CSVPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := r.Rec.WriteCSV(f); err != nil {
+		if err := rep.Series.WriteCSV(f); err != nil {
 			return err
 		}
-		fmt.Printf("series written to %s\n", csvPath)
+		fmt.Printf("series written to %s\n", opts.CSVPath)
 	}
-	return writeTrace(tracePath, ring)
+	return writeTraceEvents(opts.TracePath, res.Events)
 }
 
 // runSuite reproduces the full evaluation — every registered experiment —
-// through the worker-pool runner. Experiments fan out across the pool and
+// through the run pipeline. Experiments fan out across the worker pool and
 // each experiment's internal scheme/seed sweeps use the same worker count,
 // so -parallel N engages the whole machine while the reports stay in
 // deterministic registry order (and, by the determinism harness, stay
-// byte-identical to a serial run).
-func runSuite(seed int64, parallel, replicas int) error {
-	experiment.SetParallelism(parallel)
-	experiment.SetReplicas(replicas)
+// byte-identical to a serial run). With -store each report is
+// content-addressed, so a repeated suite — or one warmed by hcperf-serve —
+// replays finished experiments from disk instead of recomputing them.
+func runSuite(opts options) error {
+	experiment.SetParallelism(opts.Parallel)
+	experiment.SetReplicas(opts.Replicas)
 	list := experiment.List()
 	fmt.Printf("suite: %d experiments (%s..%s)\n", len(list), list[0].ID, list[len(list)-1].ID)
 	start := time.Now()
-	reports, err := experiment.RunAll(context.Background(), seed, parallel)
+	p := newPipeline(opts)
+	reports, err := runner.Map(context.Background(), opts.Parallel, experiment.IDs(),
+		func(ctx context.Context, id string) (*experiment.Report, error) {
+			res, _, _, err := p.Run(ctx, runpkg.Request{Experiment: id, Seed: opts.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			return res.Report, nil
+		})
 	if err != nil {
-		return err
+		return fmt.Errorf("experiment: %w", err)
 	}
 	if err := experiment.WriteReports(os.Stdout, reports); err != nil {
 		return err
 	}
+	if hits := p.Metrics.DiskHits.Load(); hits > 0 {
+		fmt.Printf("suite: %d of %d reports replayed from %s\n", hits, len(reports), opts.StoreDir)
+	}
 	fmt.Printf("suite: %d experiments, seed %d, parallel=%d, %.2fs\n",
-		len(reports), seed, parallel, time.Since(start).Seconds())
+		len(reports), opts.Seed, opts.Parallel, time.Since(start).Seconds())
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"hcperf/internal/scenario"
+	"hcperf/internal/store"
 )
 
 func TestParseScheme(t *testing.T) {
@@ -37,11 +39,18 @@ func TestParseScheme(t *testing.T) {
 	}
 }
 
+// simOpts is the baseline single-run invocation the tests start from.
+func simOpts() options {
+	return options{Scenario: "carfollow", Scheme: "hcperf", Seed: 1, Duration: 5,
+		Mode: "sim", Parallel: 1, Replicas: 1}
+}
+
 func TestRunScenariosShort(t *testing.T) {
 	for _, sc := range []string{"carfollow", "lanekeep", "motivation", "hardware", "jam", "combined"} {
 		t.Run(sc, func(t *testing.T) {
-			dur := 5.0
-			if err := run(sc, "edf", 1, dur, "", "", "", "sim", 1, 1); err != nil {
+			opts := simOpts()
+			opts.Scenario, opts.Scheme = sc, "edf"
+			if err := run(opts); err != nil {
 				t.Fatalf("run(%s): %v", sc, err)
 			}
 		})
@@ -49,11 +58,12 @@ func TestRunScenariosShort(t *testing.T) {
 }
 
 func TestRunWritesCSV(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "hcperf", 1, 5, path, "", "", "sim", 1, 1); err != nil {
+	opts := simOpts()
+	opts.CSVPath = filepath.Join(t.TempDir(), "run.csv")
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(opts.CSVPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +73,12 @@ func TestRunWritesCSV(t *testing.T) {
 }
 
 func TestRunWritesChromeTrace(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "run.json")
-	if err := run("carfollow", "hcperf", 1, 5, "", path, "", "sim", 1, 1); err != nil {
+	opts := simOpts()
+	opts.TracePath = filepath.Join(t.TempDir(), "run.json")
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(opts.TracePath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +106,13 @@ func TestRunWritesChromeTrace(t *testing.T) {
 }
 
 func TestRunWritesTraceCSV(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("carfollow", "edf", 1, 5, "", path, "", "sim", 1, 1); err != nil {
+	opts := simOpts()
+	opts.Scheme = "edf"
+	opts.TracePath = filepath.Join(t.TempDir(), "run.csv")
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(opts.TracePath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,19 +132,25 @@ func TestRunSuiteParallel(t *testing.T) {
 	// The suite must complete through the worker pool with multiple
 	// workers; determinism vs the serial run is enforced separately in
 	// internal/runner's harness tests.
-	if err := run("", "", 1, 0, "", "", "", "suite", 4, 1); err != nil {
+	if err := run(options{Seed: 1, Mode: "suite", Parallel: 4, Replicas: 1}); err != nil {
 		t.Fatalf("suite run: %v", err)
 	}
 }
 
 func TestRunRejectsInvalid(t *testing.T) {
-	if err := run("bogus", "edf", 1, 0, "", "", "", "sim", 1, 1); err == nil {
+	opts := simOpts()
+	opts.Scenario = "bogus"
+	if err := run(opts); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("carfollow", "bogus", 1, 0, "", "", "", "sim", 1, 1); err == nil {
+	opts = simOpts()
+	opts.Scheme = "bogus"
+	if err := run(opts); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("carfollow", "edf", 1, 0, "", "", "", "bogus", 1, 1); err == nil {
+	opts = simOpts()
+	opts.Mode = "bogus"
+	if err := run(opts); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
@@ -149,11 +168,12 @@ func TestRunSpecFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	csvPath := filepath.Join(t.TempDir(), "run.csv")
-	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1, 1); err != nil {
+	opts := options{Mode: "sim", Parallel: 1, Replicas: 1, SpecPath: path,
+		CSVPath: filepath.Join(t.TempDir(), "run.csv")}
+	if err := run(opts); err != nil {
 		t.Fatalf("run -spec: %v", err)
 	}
-	data, err := os.ReadFile(csvPath)
+	data, err := os.ReadFile(opts.CSVPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,11 +196,12 @@ func TestRunFleetSpecFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	csvPath := filepath.Join(t.TempDir(), "fleet.csv")
-	if err := run("", "", 0, 0, csvPath, "", path, "sim", 1, 1); err != nil {
+	opts := options{Mode: "sim", Parallel: 1, Replicas: 1, SpecPath: path,
+		CSVPath: filepath.Join(t.TempDir(), "fleet.csv")}
+	if err := run(opts); err != nil {
 		t.Fatalf("run -spec fleet: %v", err)
 	}
-	data, err := os.ReadFile(csvPath)
+	data, err := os.ReadFile(opts.CSVPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +234,7 @@ func TestRunSpecFileRejectsInvalid(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			err := run("", "", 0, 0, "", "", path, "sim", 1, 1)
+			err := run(options{Mode: "sim", Parallel: 1, Replicas: 1, SpecPath: path})
 			if err == nil {
 				t.Fatal("invalid spec accepted")
 			}
@@ -226,9 +247,79 @@ func TestRunSpecFileRejectsInvalid(t *testing.T) {
 
 func TestRunSpecRejectedOutsideSimMode(t *testing.T) {
 	for _, mode := range []string{"suite", "rt"} {
-		if err := run("", "", 0, 0, "", "", "spec.json", mode, 1, 1); err == nil {
+		if err := run(options{Mode: mode, Parallel: 1, Replicas: 1, SpecPath: "spec.json"}); err == nil {
 			t.Errorf("-spec accepted in %s mode", mode)
 		}
+	}
+}
+
+// TestRunStoreReplaysFromDisk is the CLI leg of the persistence contract:
+// a second identical invocation sharing a -store directory is a disk hit
+// that replays the persisted result — including a byte-identical series
+// CSV — instead of re-simulating.
+func TestRunStoreReplaysFromDisk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	firstCSV := filepath.Join(t.TempDir(), "first.csv")
+	secondCSV := filepath.Join(t.TempDir(), "second.csv")
+
+	var m1 store.Metrics
+	opts := simOpts()
+	opts.Scheme = "edf"
+	opts.StoreDir = dir
+	opts.Metrics = &m1
+	opts.CSVPath = firstCSV
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := m1.DiskHits.Load(), m1.DiskMisses.Load(); hits != 0 || misses != 1 {
+		t.Fatalf("first run: disk hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	var m2 store.Metrics
+	opts.Metrics = &m2
+	opts.CSVPath = secondCSV
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := m2.DiskHits.Load(), m2.DiskMisses.Load(); hits != 1 || misses != 0 {
+		t.Fatalf("second run: disk hits=%d misses=%d, want 1/0 (replay, not recompute)", hits, misses)
+	}
+	a, err := os.ReadFile(firstCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(secondCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("replayed series CSV differs from the computed one")
+	}
+}
+
+// TestRunStoreDegradesWhenUnusable: a -store path that cannot be a
+// directory (here, nested under a regular file) must not fail the run —
+// the CLI warns and continues without persistence.
+func TestRunStoreDegradesWhenUnusable(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := simOpts()
+	opts.StoreDir = filepath.Join(blocker, "results")
+	if err := run(opts); err != nil {
+		t.Fatalf("run with unusable store: %v", err)
+	}
+}
+
+// TestRunStoreRejectedInRTMode: wall-clock runs are not deterministic, so
+// they are not content-addressable and -store must be refused outright.
+func TestRunStoreRejectedInRTMode(t *testing.T) {
+	opts := simOpts()
+	opts.Mode = "rt"
+	opts.StoreDir = t.TempDir()
+	if err := run(opts); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Errorf("rt-mode -store error = %v, want rejection mentioning -store", err)
 	}
 }
 
@@ -236,10 +327,13 @@ func TestRunWallClockBriefly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock run")
 	}
-	if err := run("carfollow", "hcperf", 1, 2, "", "", "", "rt", 1, 1); err != nil {
+	opts := simOpts()
+	opts.Mode, opts.Duration = "rt", 2
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("carfollow", "edf", 1, 2, "", "", "", "rt", 1, 1); err != nil {
+	opts.Scheme = "edf"
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,142 @@
+package run
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hcperf/internal/experiment"
+	"hcperf/internal/lifecycle"
+	"hcperf/internal/search"
+	"hcperf/internal/trace"
+)
+
+// codecVersion is the disk envelope version. Decoding refuses other
+// versions, so a format change never silently misreads old entries — they
+// quarantine and recompute instead.
+const codecVersion = 1
+
+// envelope is the on-disk form of a Result. It carries the request digest
+// it was stored under, so a mislabeled or cross-wired entry fails the
+// integrity check instead of serving the wrong run.
+type envelope struct {
+	V        int               `json:"v"`
+	Digest   string            `json:"digest"`
+	Report   *reportJSON       `json:"report"`
+	Events   []lifecycle.Event `json:"events,omitempty"`
+	Optimize *search.Report    `json:"optimize,omitempty"`
+}
+
+// reportJSON mirrors experiment.Report field-for-field. The trace recorder
+// is flattened to ordered (name, t[], v[]) triples; HasSeries
+// distinguishes a nil recorder from an empty one, because Report.Digest
+// hashes the CSV header of an empty recorder but nothing for a nil one.
+type reportJSON struct {
+	ID        string       `json:"id"`
+	Title     string       `json:"title"`
+	Header    []string     `json:"header,omitempty"`
+	Rows      [][]string   `json:"rows,omitempty"`
+	PaperRows [][]string   `json:"paper_rows,omitempty"`
+	Notes     []string     `json:"notes,omitempty"`
+	Volatile  bool         `json:"volatile,omitempty"`
+	HasSeries bool         `json:"has_series,omitempty"`
+	Series    []seriesJSON `json:"series,omitempty"`
+}
+
+// seriesJSON is one recorded series in recording order. T and V are
+// parallel slices; Go marshals float64 with the shortest round-trip
+// representation, so a decode replays bit-identical samples and the
+// rebuilt recorder's CSV — and therefore the report digest — matches the
+// original byte for byte.
+type seriesJSON struct {
+	Name string    `json:"name"`
+	T    []float64 `json:"t"`
+	V    []float64 `json:"v"`
+}
+
+// EncodeResult serializes a completed run for the disk store, keyed by the
+// request digest it will be stored under.
+func EncodeResult(digest string, res *Result) ([]byte, error) {
+	if res == nil || res.Report == nil {
+		return nil, fmt.Errorf("run: encode %s: result has no report", digest)
+	}
+	r := res.Report
+	rj := &reportJSON{
+		ID:        r.ID,
+		Title:     r.Title,
+		Header:    r.Header,
+		Rows:      r.Rows,
+		PaperRows: r.PaperRows,
+		Notes:     r.Notes,
+		Volatile:  r.Volatile,
+	}
+	if r.Series != nil {
+		rj.HasSeries = true
+		for _, name := range r.Series.Names() {
+			s := r.Series.Series(name)
+			sj := seriesJSON{Name: name, T: make([]float64, 0, s.Len()), V: make([]float64, 0, s.Len())}
+			for _, p := range s.Samples {
+				sj.T = append(sj.T, p.T)
+				sj.V = append(sj.V, p.V)
+			}
+			rj.Series = append(rj.Series, sj)
+		}
+	}
+	env := envelope{
+		V:        codecVersion,
+		Digest:   digest,
+		Report:   rj,
+		Events:   res.Events,
+		Optimize: res.Optimize,
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("run: encode %s: %w", digest, err)
+	}
+	return b, nil
+}
+
+// DecodeResult parses a disk entry back into a Result, verifying the
+// envelope version and that the entry was stored under the digest it is
+// being read for. Any failure means the entry is corrupt (or cross-wired)
+// and must be treated as a miss — the pipeline quarantines it.
+func DecodeResult(digest string, data []byte) (*Result, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("run: decode %s: %w", digest, err)
+	}
+	if env.V != codecVersion {
+		return nil, fmt.Errorf("run: decode %s: envelope version %d, want %d", digest, env.V, codecVersion)
+	}
+	if env.Digest != digest {
+		return nil, fmt.Errorf("run: decode %s: entry stored under digest %s", digest, env.Digest)
+	}
+	if env.Report == nil {
+		return nil, fmt.Errorf("run: decode %s: entry has no report", digest)
+	}
+	rj := env.Report
+	rep := &experiment.Report{
+		ID:        rj.ID,
+		Title:     rj.Title,
+		Header:    rj.Header,
+		Rows:      rj.Rows,
+		PaperRows: rj.PaperRows,
+		Notes:     rj.Notes,
+		Volatile:  rj.Volatile,
+	}
+	if rj.HasSeries {
+		rec := trace.NewRecorder()
+		for _, sj := range rj.Series {
+			if len(sj.T) != len(sj.V) {
+				return nil, fmt.Errorf("run: decode %s: series %q has %d times, %d values",
+					digest, sj.Name, len(sj.T), len(sj.V))
+			}
+			for i := range sj.T {
+				if err := rec.Add(sj.Name, sj.T[i], sj.V[i]); err != nil {
+					return nil, fmt.Errorf("run: decode %s: %w", digest, err)
+				}
+			}
+		}
+		rep.Series = rec
+	}
+	return &Result{Report: rep, Events: env.Events, Optimize: env.Optimize}, nil
+}

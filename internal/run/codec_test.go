@@ -1,0 +1,165 @@
+package run
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hcperf/internal/experiment"
+	"hcperf/internal/search"
+	"hcperf/internal/trace"
+)
+
+// mustDigest renders a report digest or fails the test.
+func mustDigest(t *testing.T, rep *experiment.Report) string {
+	t.Helper()
+	d, err := rep.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCodecRoundTripPreservesReportDigest(t *testing.T) {
+	// A real traced scenario run: rows, a populated series recorder and
+	// lifecycle events all at once. The disk round trip must preserve the
+	// report digest byte for byte — that is what makes a disk hit
+	// indistinguishable from a recomputation.
+	req, err := Request{Scenario: "carfollow", Scheme: "edf", Duration: 2, Trace: true}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Series == nil || len(res.Events) == 0 {
+		t.Fatal("fixture run produced no series or no events; round trip would be vacuous")
+	}
+	digest := req.Digest()
+	data, err := EncodeResult(digest, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(digest, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustDigest(t, back.Report), mustDigest(t, res.Report); got != want {
+		t.Errorf("report digest after round trip = %s, want %s", got[:12], want[:12])
+	}
+	if !reflect.DeepEqual(back.Events, res.Events) {
+		t.Errorf("lifecycle events changed across round trip: %d vs %d", len(back.Events), len(res.Events))
+	}
+	if !reflect.DeepEqual(back.Report.Series.Names(), res.Report.Series.Names()) {
+		t.Errorf("series names changed: %v vs %v", back.Report.Series.Names(), res.Report.Series.Names())
+	}
+}
+
+func TestCodecRoundTripExperimentReport(t *testing.T) {
+	// Registry experiments carry paper rows and notes and (for figures) a
+	// series recorder; fig5 exercises all of them.
+	req, err := Request{Experiment: "fig5"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := req.Digest()
+	data, err := EncodeResult(digest, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(digest, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustDigest(t, back.Report), mustDigest(t, res.Report); got != want {
+		t.Errorf("report digest after round trip = %s, want %s", got[:12], want[:12])
+	}
+}
+
+func TestCodecRoundTripOptimizeReport(t *testing.T) {
+	rep := &experiment.Report{ID: "optimize-carfollow", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	opt := &search.Report{
+		Strategy:   "random",
+		Seed:       1,
+		Seeds:      2,
+		Budget:     4,
+		Evaluated:  4,
+		Objectives: []string{"pathtrack_rms"},
+		Best: []search.BestEntry{{
+			Objective: "pathtrack_rms", Value: 0.5, Baseline: 0.75, Improved: true,
+			Candidate: search.Candidate{Scheme: "hcperf"},
+		}},
+	}
+	res := &Result{Report: rep, Optimize: opt}
+	data, err := EncodeResult("d0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult("d0", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Optimize, opt) {
+		t.Errorf("optimize report changed across round trip:\n got %+v\nwant %+v", back.Optimize, opt)
+	}
+}
+
+func TestCodecRejectsCorruptEntries(t *testing.T) {
+	rep := &experiment.Report{ID: "x", Title: "x"}
+	good, err := EncodeResult("deadbeef", &Result{Report: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"garbage", []byte("not json at all"), "decode"},
+		{"truncated", good[:len(good)/2], "decode"},
+		{"wrong digest", good, "stored under"},
+		{"empty object", []byte("{}"), "version"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			digest := "deadbeef"
+			if tt.name == "wrong digest" {
+				digest = "cafebabe"
+			}
+			_, err := DecodeResult(digest, tt.data)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("DecodeResult err = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCodecNilVersusEmptySeries(t *testing.T) {
+	// A nil recorder and an empty recorder digest differently (the empty
+	// one hashes a CSV header), so the codec must preserve the distinction.
+	nilRep := &experiment.Report{ID: "x", Title: "x"}
+	emptyRep := &experiment.Report{ID: "x", Title: "x", Series: trace.NewRecorder()}
+	if mustDigest(t, nilRep) == mustDigest(t, emptyRep) {
+		t.Fatal("fixture invalid: nil and empty recorders digest equally")
+	}
+	for _, rep := range []*experiment.Report{nilRep, emptyRep} {
+		data, err := EncodeResult("d0", &Result{Report: rep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeResult("d0", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := mustDigest(t, back.Report), mustDigest(t, rep); got != want {
+			t.Errorf("digest after round trip = %s, want %s (series nil=%t)",
+				got[:12], want[:12], rep.Series == nil)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package run
+
+import (
+	"context"
+
+	"hcperf/internal/store"
+)
+
+// LoadDisk reads the result for digest from the disk tier. A stored entry
+// that fails to decode or fails its integrity check is quarantined (and
+// counted corrupt) so it is recomputed rather than served; the caller sees
+// a plain miss either way.
+func LoadDisk(d *store.Disk, digest string) (*Result, bool) {
+	if d == nil {
+		return nil, false
+	}
+	data, ok := d.Get(digest)
+	if !ok {
+		return nil, false
+	}
+	res, err := DecodeResult(digest, data)
+	if err != nil {
+		d.Quarantine(digest)
+		return nil, false
+	}
+	return res, true
+}
+
+// SaveDisk writes a completed result to the disk tier. Persistence is an
+// optimization, not a correctness requirement, so callers treat the
+// returned error as log-and-continue.
+func SaveDisk(d *store.Disk, digest string, res *Result) error {
+	if d == nil {
+		return nil
+	}
+	data, err := EncodeResult(digest, res)
+	if err != nil {
+		return err
+	}
+	return d.Put(digest, data)
+}
+
+// Pipeline is the one normalize → digest → lookup → execute → persist
+// path every entry point shares: the CLI's sim/spec/tune/suite modes, the
+// HTTP service's run and optimize handlers (via its job manager, which
+// layers queueing and dedup on the same tiers) and the sweep fan-out.
+type Pipeline struct {
+	// Lookup consults the caller's memory tier (the serving layer's job
+	// map; nil for the CLI, which has no resident results).
+	Lookup func(digest string) (*Result, bool)
+	// Disk is the persistent tier; nil disables persistence.
+	Disk *store.Disk
+	// Metrics counts memory-tier lookups (the disk tier counts its own
+	// through Disk). Nil disables counting.
+	Metrics *store.Metrics
+	// Exec computes a result on a full miss; nil means Execute.
+	Exec Func
+}
+
+// Run takes a raw request through the full pipeline and reports which tier
+// satisfied it. The request is normalized and digested here, so every
+// caller shares one digest namespace; on a full miss the computed result
+// is written back to the disk tier (best-effort).
+func (p *Pipeline) Run(ctx context.Context, req Request) (*Result, store.Tier, string, error) {
+	req, err := req.Normalize()
+	if err != nil {
+		return nil, store.TierMiss, "", err
+	}
+	digest := req.Digest()
+	if p.Lookup != nil {
+		if res, ok := p.Lookup(digest); ok {
+			if p.Metrics != nil {
+				p.Metrics.MemoryHits.Add(1)
+			}
+			return res, store.TierMemory, digest, nil
+		}
+		if p.Metrics != nil {
+			p.Metrics.MemoryMisses.Add(1)
+		}
+	}
+	if res, ok := LoadDisk(p.Disk, digest); ok {
+		return res, store.TierDisk, digest, nil
+	}
+	exec := p.Exec
+	if exec == nil {
+		exec = Execute
+	}
+	res, err := exec(ctx, req)
+	if err != nil {
+		return nil, store.TierMiss, digest, err
+	}
+	// Persistence failures (full disk, lost volume) must not fail the run.
+	_ = SaveDisk(p.Disk, digest, res)
+	return res, store.TierMiss, digest, nil
+}

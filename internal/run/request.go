@@ -1,25 +1,35 @@
-package service
+// Package run is the one canonical run pipeline every entry path routes
+// through: Request (experiment | scenario | spec | fleet | optimize) →
+// Normalize → Digest → Execute → Result (report + series + trace handles).
+// The CLI (hcperf-sim sim/spec/tune/suite modes), the HTTP service
+// (POST /v1/runs, /v1/optimize, /v1/sweeps) and the batch sweep fan-out are
+// all thin callers of this package, so a run is the same computation — and
+// the same content address — no matter which door it came in through.
+//
+// The digest namespace is load-bearing: it predates this package (it was
+// the serving layer's request digest) and is pinned by tests, so a report
+// computed before the extraction remains a disk-store hit after it.
+package run
 
 import (
-	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
 	"hcperf/internal/experiment"
-	"hcperf/internal/lifecycle"
 	"hcperf/internal/scenario"
 	"hcperf/internal/search"
 )
 
-// RunRequest is the body of POST /v1/runs: a registered experiment (the
-// paper's tables and figures), a single scenario run under one scheduling
-// scheme, or an inline declarative scenario spec. Requests are
-// canonicalized and content-addressed — the run ID is a digest over the
-// normalized fields, so identical requests share one execution and one
-// cached result.
-type RunRequest struct {
+// Request is one run of the pipeline: a registered experiment (the paper's
+// tables and figures), a single scenario run under one scheduling scheme,
+// an inline declarative scenario spec (including fleet specs), or a policy
+// search. Requests are canonicalized and content-addressed — the run ID is
+// a digest over the normalized fields, so identical requests share one
+// execution and one cached result across every entry path and process
+// restart.
+type Request struct {
 	// Experiment is a registry ID (see GET /v1/experiments), e.g.
 	// "fig13". Mutually exclusive with Scenario and Spec.
 	Experiment string `json:"experiment,omitempty"`
@@ -61,10 +71,13 @@ var scenarioNames = func() map[string]bool {
 	return out
 }()
 
+// ScenarioNames reports whether name is a known scenario run kind.
+func KnownScenario(name string) bool { return scenarioNames[name] }
+
 // Normalize validates the request and fills defaults so that every
 // equivalent request maps to the same canonical form (and therefore the
 // same digest).
-func (r RunRequest) Normalize() (RunRequest, error) {
+func (r Request) Normalize() (Request, error) {
 	set := 0
 	for _, on := range []bool{r.Experiment != "", r.Scenario != "", r.Spec != nil, r.Optimize != nil} {
 		if on {
@@ -133,8 +146,13 @@ func (r RunRequest) Normalize() (RunRequest, error) {
 // encoding (Normalize makes it a fixed point, and encoding/json sorts map
 // keys). Two submissions with equal digests are the same run —
 // determinism of the underlying simulations (enforced by the
-// internal/runner harness) makes serving the cached Report correct.
-func (r RunRequest) Digest() string {
+// internal/runner harness) makes serving the cached Result correct.
+//
+// The byte layout is frozen: it must keep producing exactly the digests
+// the pre-extraction service code produced (pinned by the compatibility
+// test in internal/service), or every existing disk-store entry silently
+// invalidates.
+func (r Request) Digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "exp=%s;scn=%s;scheme=%s;seed=%d;dur=%g;trace=%t",
 		r.Experiment, r.Scenario, r.Scheme, r.Seed, r.Duration, r.Trace)
@@ -143,7 +161,7 @@ func (r RunRequest) Digest() string {
 		// plain value and Normalize rejected non-finite numbers.
 		b, err := json.Marshal(r.Spec)
 		if err != nil {
-			panic(fmt.Sprintf("service: marshal normalized spec: %v", err))
+			panic(fmt.Sprintf("run: marshal normalized spec: %v", err))
 		}
 		fmt.Fprintf(h, ";spec=%s", b)
 	}
@@ -152,7 +170,7 @@ func (r RunRequest) Digest() string {
 		// encoding (search.Request.Normalize is a fixed point).
 		b, err := json.Marshal(r.Optimize)
 		if err != nil {
-			panic(fmt.Sprintf("service: marshal normalized optimize request: %v", err))
+			panic(fmt.Sprintf("run: marshal normalized optimize request: %v", err))
 		}
 		fmt.Fprintf(h, ";opt=%s", b)
 	}
@@ -161,7 +179,7 @@ func (r RunRequest) Digest() string {
 
 // Kind labels the request for metrics: the experiment ID, the scenario
 // name, or "spec:<scenario>" for inline specs.
-func (r RunRequest) Kind() string {
+func (r Request) Kind() string {
 	switch {
 	case r.Experiment != "":
 		return r.Experiment
@@ -172,36 +190,4 @@ func (r RunRequest) Kind() string {
 	default:
 		return r.Scenario
 	}
-}
-
-// RunResult is a completed run: the rendered report plus, for traced
-// scenario runs, the captured lifecycle events and, for optimize runs, the
-// structured search report.
-type RunResult struct {
-	Report   *experiment.Report
-	Events   []lifecycle.Event
-	Optimize *search.Report
-}
-
-// RunFunc executes one normalized request. The manager's default is
-// Execute; tests inject controllable fakes.
-type RunFunc func(ctx context.Context, req RunRequest) (*RunResult, error)
-
-// Execute runs a normalized request for real: registry experiments go
-// through experiment.Run, optimize requests through the search subsystem
-// (reporting generation progress through the ctx-carried sink), and
-// scenario and spec requests through the scenario package's spec runner
-// (capturing lifecycle events into a bounded ring when Trace is set).
-func Execute(ctx context.Context, req RunRequest) (*RunResult, error) {
-	if req.Optimize != nil {
-		return runOptimize(ctx, req)
-	}
-	if req.Experiment != "" {
-		rep, err := experiment.Run(req.Experiment, req.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return &RunResult{Report: rep}, nil
-	}
-	return runScenario(req)
 }

@@ -1,4 +1,4 @@
-package service
+package run
 
 import (
 	"context"
@@ -9,17 +9,17 @@ import (
 func TestNormalizeValidation(t *testing.T) {
 	tests := []struct {
 		name    string
-		give    RunRequest
+		give    Request
 		wantErr string
 	}{
-		{name: "neither", give: RunRequest{}, wantErr: "exactly one"},
-		{name: "both", give: RunRequest{Experiment: "fig5", Scenario: "carfollow"}, wantErr: "exactly one"},
-		{name: "unknown experiment", give: RunRequest{Experiment: "fig99"}, wantErr: "unknown experiment"},
-		{name: "unknown scenario", give: RunRequest{Scenario: "flying"}, wantErr: "unknown scenario"},
-		{name: "unknown scheme", give: RunRequest{Scenario: "carfollow", Scheme: "fifo"}, wantErr: "unknown scheme"},
-		{name: "negative duration", give: RunRequest{Scenario: "carfollow", Duration: -1}, wantErr: "duration"},
-		{name: "experiment ok", give: RunRequest{Experiment: "fig5"}},
-		{name: "scenario ok", give: RunRequest{Scenario: "lanekeep", Scheme: "edf-vd", Duration: 5, Trace: true}},
+		{name: "neither", give: Request{}, wantErr: "exactly one"},
+		{name: "both", give: Request{Experiment: "fig5", Scenario: "carfollow"}, wantErr: "exactly one"},
+		{name: "unknown experiment", give: Request{Experiment: "fig99"}, wantErr: "unknown experiment"},
+		{name: "unknown scenario", give: Request{Scenario: "flying"}, wantErr: "unknown scenario"},
+		{name: "unknown scheme", give: Request{Scenario: "carfollow", Scheme: "fifo"}, wantErr: "unknown scheme"},
+		{name: "negative duration", give: Request{Scenario: "carfollow", Duration: -1}, wantErr: "duration"},
+		{name: "experiment ok", give: Request{Experiment: "fig5"}},
+		{name: "scenario ok", give: Request{Scenario: "lanekeep", Scheme: "edf-vd", Duration: 5, Trace: true}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -38,7 +38,7 @@ func TestNormalizeValidation(t *testing.T) {
 }
 
 func TestDigestCanonicalization(t *testing.T) {
-	norm := func(r RunRequest) RunRequest {
+	norm := func(r Request) Request {
 		t.Helper()
 		out, err := r.Normalize()
 		if err != nil {
@@ -48,26 +48,26 @@ func TestDigestCanonicalization(t *testing.T) {
 	}
 	// Defaults are canonical: seed 0 and seed 1 are the same request, and
 	// scenario-only fields cannot split the experiment cache.
-	a := norm(RunRequest{Experiment: "fig5"})
-	b := norm(RunRequest{Experiment: "fig5", Seed: 1, Scheme: "edf", Duration: 30, Trace: true})
+	a := norm(Request{Experiment: "fig5"})
+	b := norm(Request{Experiment: "fig5", Seed: 1, Scheme: "edf", Duration: 30, Trace: true})
 	if a.Digest() != b.Digest() {
 		t.Error("equivalent experiment requests produced different digests")
 	}
 	// The default scheme is canonical for scenarios.
-	c := norm(RunRequest{Scenario: "carfollow"})
-	d := norm(RunRequest{Scenario: "carfollow", Scheme: "hcperf", Seed: 1})
+	c := norm(Request{Scenario: "carfollow"})
+	d := norm(Request{Scenario: "carfollow", Scheme: "hcperf", Seed: 1})
 	if c.Digest() != d.Digest() {
 		t.Error("equivalent scenario requests produced different digests")
 	}
 	// Distinct requests must not collide.
-	distinct := []RunRequest{
+	distinct := []Request{
 		a,
 		c,
-		norm(RunRequest{Experiment: "fig5", Seed: 2}),
-		norm(RunRequest{Experiment: "fig4"}),
-		norm(RunRequest{Scenario: "carfollow", Scheme: "edf"}),
-		norm(RunRequest{Scenario: "carfollow", Duration: 5}),
-		norm(RunRequest{Scenario: "carfollow", Trace: true}),
+		norm(Request{Experiment: "fig5", Seed: 2}),
+		norm(Request{Experiment: "fig4"}),
+		norm(Request{Scenario: "carfollow", Scheme: "edf"}),
+		norm(Request{Scenario: "carfollow", Duration: 5}),
+		norm(Request{Scenario: "carfollow", Trace: true}),
 	}
 	seen := make(map[string]int)
 	for i, r := range distinct {
@@ -79,7 +79,7 @@ func TestDigestCanonicalization(t *testing.T) {
 }
 
 func TestExecuteExperiment(t *testing.T) {
-	req, err := RunRequest{Experiment: "fig5"}.Normalize()
+	req, err := Request{Experiment: "fig5"}.Normalize()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestExecuteExperiment(t *testing.T) {
 }
 
 func TestExecuteScenarioWithTrace(t *testing.T) {
-	req, err := RunRequest{Scenario: "carfollow", Scheme: "edf", Duration: 2, Trace: true}.Normalize()
+	req, err := Request{Scenario: "carfollow", Scheme: "edf", Duration: 2, Trace: true}.Normalize()
 	if err != nil {
 		t.Fatal(err)
 	}

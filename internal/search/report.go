@@ -9,10 +9,10 @@ import (
 // BestEntry records, for one objective, the best candidate found and the
 // paper-default (hcperf baseline) value it is measured against.
 type BestEntry struct {
-	Objective string   `json:"objective"`
-	Value     float64  `json:"value"`
-	Baseline  float64  `json:"baseline"`
-	Improved  bool     `json:"improved"`
+	Objective string    `json:"objective"`
+	Value     float64   `json:"value"`
+	Baseline  float64   `json:"baseline"`
+	Improved  bool      `json:"improved"`
 	Candidate Candidate `json:"candidate"`
 }
 
@@ -21,15 +21,15 @@ type BestEntry struct {
 // fields are deterministic, and the struct marshals to canonical JSON
 // (fixed field order, no maps), so reports are digest-pinnable.
 type Report struct {
-	Strategy    string    `json:"strategy"`
-	Seed        int64     `json:"seed"`
-	Seeds       int       `json:"seeds"`
-	Budget      int       `json:"budget"`
-	Evaluated   int       `json:"evaluated"`
-	Generations int       `json:"generations"`
-	SpaceSize   int       `json:"space_size"`
-	Objectives  []string  `json:"objectives"`
-	Space       Space     `json:"space"`
+	Strategy    string   `json:"strategy"`
+	Seed        int64    `json:"seed"`
+	Seeds       int      `json:"seeds"`
+	Budget      int      `json:"budget"`
+	Evaluated   int      `json:"evaluated"`
+	Generations int      `json:"generations"`
+	SpaceSize   int      `json:"space_size"`
+	Objectives  []string `json:"objectives"`
+	Space       Space    `json:"space"`
 	// Baselines are the paper-default candidates, one per scheme, in
 	// scheme order.
 	Baselines []Scored `json:"baselines"`

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hcperf/internal/scenario"
+	"hcperf/internal/search"
+)
+
+// frozenDigest is a byte-for-byte copy of the serving layer's request
+// digest as it stood before the pipeline extraction (when RunRequest was
+// defined in this package). It is deliberately NOT refactored to share
+// code with run.Request.Digest: the whole point is an independent witness
+// that the digest namespace did not move, because every disk-store entry
+// and every cached run is addressed by these bytes.
+func frozenDigest(r RunRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "exp=%s;scn=%s;scheme=%s;seed=%d;dur=%g;trace=%t",
+		r.Experiment, r.Scenario, r.Scheme, r.Seed, r.Duration, r.Trace)
+	if r.Spec != nil {
+		b, err := json.Marshal(r.Spec)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(h, ";spec=%s", b)
+	}
+	if r.Optimize != nil {
+		b, err := json.Marshal(r.Optimize)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(h, ";opt=%s", b)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestDigestNamespaceFrozen(t *testing.T) {
+	specJSON := `{
+		"scenario": "carfollow",
+		"scheme": "edf",
+		"seed": 7,
+		"duration": 3
+	}`
+	spec, err := scenario.DecodeSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optJSON := `{
+		"spec": {"scenario": "carfollow", "duration": 2},
+		"objectives": ["err_p99"],
+		"strategy": "random",
+		"budget": 4,
+		"seeds": 1
+	}`
+	var opt search.Request
+	if err := json.Unmarshal([]byte(optJSON), &opt); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []RunRequest{
+		{Experiment: "fig5"},
+		{Experiment: "fig13", Seed: 9},
+		{Scenario: "carfollow"},
+		{Scenario: "lanekeep", Scheme: "edf-vd", Seed: 3, Duration: 5, Trace: true},
+		{Spec: &spec},
+		{Optimize: &opt},
+	}
+	for i, raw := range reqs {
+		req, err := raw.Normalize()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if got, want := req.Digest(), frozenDigest(req); got != want {
+			t.Errorf("request %d: pipeline digest %s != pre-refactor digest %s — the digest namespace moved",
+				i, got[:16], want[:16])
+		}
+	}
+}

@@ -1,8 +1,10 @@
-// Package service turns the experiment registry and the scenario presets
-// into an online HTTP/JSON API: a bounded job queue with a worker pool
-// built on runner.Map, a content-addressed result cache with
-// singleflight-style deduplication of identical submissions, load shedding
-// with 429 + Retry-After under overload, live Prometheus metrics, and a
+// Package service turns the run pipeline (internal/run) into an online
+// HTTP/JSON API: a bounded job queue with a worker pool built on
+// runner.Map, a tiered content-addressed result store (in-memory LRU over
+// an optional disk store, internal/store) with singleflight-style
+// deduplication of identical submissions, a batch sweep endpoint that fans
+// a spec template across a parameter grid, load shedding with 429 +
+// Retry-After under overload, live Prometheus metrics, and a
 // deadline-bounded graceful drain mirroring the shutdown discipline of
 // internal/rt. Determinism of the underlying simulations (enforced by the
 // internal/runner harness) is what makes serving a cached Report for a
@@ -16,8 +18,10 @@ import (
 	"sync"
 	"time"
 
+	"hcperf/internal/run"
 	"hcperf/internal/runner"
 	"hcperf/internal/search"
+	"hcperf/internal/store"
 )
 
 // Sentinel errors Submit maps to HTTP statuses.
@@ -65,6 +69,12 @@ type Job struct {
 	// smaller seq.
 	seq uint64
 
+	// source records where the job's result materialized in this process:
+	// TierMemory for runs computed here, TierDisk for results restored
+	// from the disk store. Set once the job is terminal with a result;
+	// meaningless (zero) before then and for failed runs.
+	source store.Tier
+
 	mu        sync.Mutex
 	state     JobState
 	result    *RunResult
@@ -92,6 +102,10 @@ type JobSnapshot struct {
 	// Progress is the latest generation snapshot of a running optimize
 	// job (nil otherwise).
 	Progress *search.Progress
+	// Source is the tier the result materialized from (memory for runs
+	// computed by this process, disk for restored results); empty until
+	// the job completes with a result.
+	Source store.Tier
 }
 
 // Snapshot returns a consistent view of the job.
@@ -101,6 +115,7 @@ func (j *Job) Snapshot() JobSnapshot {
 	snap := JobSnapshot{
 		ID: j.ID, Req: j.Req, State: j.state, Result: j.result, Err: j.err,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Source: j.source,
 	}
 	if j.progress != nil {
 		p := *j.progress
@@ -145,10 +160,27 @@ const (
 	// SubmitDeduped: an identical run is already queued or running; the
 	// submission was coalesced onto it.
 	SubmitDeduped
-	// SubmitCached: an identical run already completed and is in the
-	// result cache.
+	// SubmitCached: an identical run already completed and is resident in
+	// the in-memory result cache.
 	SubmitCached
+	// SubmitCachedDisk: an identical run completed in an earlier process
+	// (or was evicted from memory) and was restored from the disk store.
+	SubmitCachedDisk
 )
+
+// Tier maps a submission outcome to the store tier that satisfied it —
+// the value of the X-HCPerf-Cache response header and the `cache` field of
+// the submission response.
+func (o SubmitOutcome) Tier() store.Tier {
+	switch o {
+	case SubmitCached:
+		return store.TierMemory
+	case SubmitCachedDisk:
+		return store.TierDisk
+	default:
+		return store.TierMiss
+	}
+}
 
 // ManagerConfig sizes the job manager.
 type ManagerConfig struct {
@@ -165,6 +197,10 @@ type ManagerConfig struct {
 	Run RunFunc
 	// Metrics receives operational counters (default a fresh set).
 	Metrics *Metrics
+	// Disk is the persistent result tier under the in-memory cache; nil
+	// (the default) runs memory-only, exactly the pre-disk-store
+	// behavior.
+	Disk *store.Disk
 }
 
 // Manager owns the submission queue, the worker pool, and the
@@ -174,13 +210,14 @@ type ManagerConfig struct {
 type Manager struct {
 	run     RunFunc
 	metrics *Metrics
+	disk    *store.Disk // nil = memory-only
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
 	mu       sync.Mutex
 	jobs     map[string]*Job // every known job: queued, running, and cached terminal
-	cache    *lruCache       // recency order over terminal jobs only
+	cache    *store.LRU      // recency order over terminal jobs only
 	queue    chan *Job
 	seq      uint64 // submission counter; orders queue positions
 	draining bool
@@ -205,14 +242,20 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics()
 	}
+	if cfg.Disk != nil {
+		// The disk tier counts into the same metrics set as the memory
+		// tier, so /metrics shows one coherent tiered store.
+		cfg.Disk.SetMetrics(cfg.Metrics.Store)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		run:     cfg.Run,
 		metrics: cfg.Metrics,
+		disk:    cfg.Disk,
 		baseCtx: ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*Job),
-		cache:   newLRUCache(cfg.CacheSize),
+		cache:   store.NewLRU(cfg.CacheSize),
 		queue:   make(chan *Job, cfg.QueueSize),
 	}
 	m.wg.Add(cfg.Workers)
@@ -265,20 +308,37 @@ func (m *Manager) QueuePosition(id string) int {
 
 // Submit routes one normalized request: identical to a cached terminal run
 // → that run (LRU refreshed); identical to a queued/running run → that run
-// (singleflight dedup); otherwise a fresh job, unless the queue is full
-// (ErrQueueFull) or the manager is draining (ErrDraining).
+// (singleflight dedup); persisted by an earlier process → a terminal job
+// restored from the disk store; otherwise a fresh job, unless the queue is
+// full (ErrQueueFull) or the manager is draining (ErrDraining).
 func (m *Manager) Submit(req RunRequest) (*Job, SubmitOutcome, error) {
 	id := req.Digest()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if j, ok := m.jobs[id]; ok {
-		if j.Snapshot().State.Terminal() {
-			m.cache.Bump(id)
-			m.metrics.CacheHits.Add(1)
-			return j, SubmitCached, nil
+	if j, outcome, hit := m.lookupLocked(id); hit {
+		m.mu.Unlock()
+		return j, outcome, nil
+	}
+	m.metrics.Store.MemoryMisses.Add(1)
+	m.mu.Unlock()
+
+	// Disk tier, outside the mutex: reading an entry is file I/O and must
+	// not stall status polls. Serving a persisted result is not new work,
+	// so it is allowed even while draining.
+	if res, ok := run.LoadDisk(m.disk, id); ok {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if j, outcome, hit := m.lookupLocked(id); hit {
+			// Raced with an identical submission; defer to its job.
+			return j, outcome, nil
 		}
-		m.metrics.DedupHits.Add(1)
-		return j, SubmitDeduped, nil
+		return m.installTerminalLocked(id, req, res, store.TierDisk), SubmitCachedDisk, nil
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, outcome, hit := m.lookupLocked(id); hit {
+		// Raced with an identical submission while we checked the disk.
+		return j, outcome, nil
 	}
 	if m.draining {
 		m.metrics.Rejected.Add(1)
@@ -295,6 +355,87 @@ func (m *Manager) Submit(req RunRequest) (*Job, SubmitOutcome, error) {
 	m.jobs[id] = j
 	m.metrics.Misses.Add(1)
 	return j, SubmitNew, nil
+}
+
+// lookupLocked resolves a digest against the in-memory tier: a terminal
+// job is a memory cache hit, a live one coalesces the submission.
+func (m *Manager) lookupLocked(id string) (*Job, SubmitOutcome, bool) {
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, 0, false
+	}
+	if j.Snapshot().State.Terminal() {
+		m.cache.Bump(id)
+		m.metrics.CacheHits.Add(1)
+		m.metrics.Store.MemoryHits.Add(1)
+		return j, SubmitCached, true
+	}
+	m.metrics.DedupHits.Add(1)
+	return j, SubmitDeduped, true
+}
+
+// installTerminalLocked enters an already-completed result (restored from
+// disk, or computed by a sweep worker) as a terminal job so subsequent
+// GETs and submissions see it as an ordinary cached run.
+func (m *Manager) installTerminalLocked(id string, req RunRequest, res *RunResult, source store.Tier) *Job {
+	m.seq++
+	now := time.Now()
+	j := &Job{
+		ID: id, Req: req, seq: m.seq, source: source,
+		state: StateDone, result: res,
+		submitted: now, started: now, finished: now,
+		done: make(chan struct{}),
+	}
+	close(j.done)
+	m.jobs[id] = j
+	m.addToCacheLocked(id)
+	return j
+}
+
+// AddCached publishes a result computed outside the worker pool (a sweep
+// cell) under its digest. An existing job for the digest wins — the caller
+// raced with an ordinary submission — and is returned unchanged.
+func (m *Manager) AddCached(req RunRequest, res *RunResult, source store.Tier) *Job {
+	if source == store.TierMiss {
+		// A freshly computed result is memory-resident from here on.
+		source = store.TierMemory
+	}
+	id := req.Digest()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		return j
+	}
+	return m.installTerminalLocked(id, req, res, source)
+}
+
+// CachedResult resolves a digest against the in-memory tier only: the
+// result of a successfully completed resident job (recency refreshed), or
+// a miss. It is the memory-tier Lookup of sweep pipelines; counting is
+// left to the pipeline so submission metrics stay comparable.
+func (m *Manager) CachedResult(id string) (*RunResult, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	snap := j.Snapshot()
+	if snap.State != StateDone || snap.Result == nil {
+		return nil, false
+	}
+	m.cache.Bump(id)
+	return snap.Result, true
+}
+
+// addToCacheLocked enters a terminal digest into the LRU; evicted digests
+// drop out of the job map entirely, so a resubmission re-executes (or
+// restores from disk).
+func (m *Manager) addToCacheLocked(id string) {
+	for _, evicted := range m.cache.Add(id) {
+		delete(m.jobs, evicted)
+		m.metrics.Store.MemoryEvictions.Add(1)
+	}
 }
 
 // worker drains the queue until it closes. Each job runs through
@@ -318,7 +459,7 @@ func (m *Manager) runJob(j *Job) {
 		// OnProgress fires on the evaluating goroutine, one generation at
 		// a time, so the previous-snapshot state needs no lock.
 		var prev search.Progress
-		ctx = withProgress(ctx, func(p search.Progress) {
+		ctx = run.WithProgress(ctx, func(p search.Progress) {
 			m.metrics.ObserveOptimize(p, prev)
 			prev = p
 			j.setProgress(p)
@@ -342,14 +483,24 @@ func (m *Manager) runJob(j *Job) {
 		state = StateFailed
 		m.metrics.Failed.Add(1)
 	}
+	if state == StateDone {
+		j.mu.Lock()
+		j.source = store.TierMemory
+		j.mu.Unlock()
+	}
 	j.finish(state, res, err, time.Now())
+
+	if state == StateDone {
+		// Persist the completed run so it survives restarts and memory
+		// eviction. Best-effort: a full or lost volume costs persistence,
+		// never the run.
+		_ = run.SaveDisk(m.disk, j.ID, res)
+	}
 
 	// Enter the terminal job into the LRU; evicted digests drop out of
 	// the job map entirely, so a resubmission re-executes.
 	m.mu.Lock()
-	for _, evicted := range m.cache.Add(j.ID) {
-		delete(m.jobs, evicted)
-	}
+	m.addToCacheLocked(j.ID)
 	m.mu.Unlock()
 }
 

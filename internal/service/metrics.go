@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"hcperf/internal/search"
+	"hcperf/internal/store"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the run-duration
@@ -48,6 +49,12 @@ type Metrics struct {
 	// OptimizeCandidates counts candidate evaluations across all optimize
 	// jobs; OptimizeGenerations counts completed search generations.
 	OptimizeCandidates, OptimizeGenerations atomic.Uint64
+	// SweepCells / SweepCacheHits count batch-sweep cells executed and
+	// cells satisfied from a store tier without re-execution.
+	SweepCells, SweepCacheHits atomic.Uint64
+	// Store holds the tiered result store's per-tier counters (shared
+	// with the disk store and the sweep pipeline); never nil.
+	Store *store.Metrics
 
 	mu           sync.Mutex
 	latency      map[string]*histogram // per experiment/scenario kind
@@ -57,6 +64,7 @@ type Metrics struct {
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
 	return &Metrics{
+		Store:        &store.Metrics{},
 		latency:      make(map[string]*histogram),
 		optimizeBest: make(map[string]float64),
 	}
@@ -133,6 +141,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) error {
 	counter("hcperf_runs_cancelled_total", "Executions cancelled by shutdown before or while running.", m.Cancelled.Load())
 	counter("hcperf_optimize_candidates_total", "Candidate evaluations across all optimize jobs.", m.OptimizeCandidates.Load())
 	counter("hcperf_optimize_generations_total", "Completed search generations across all optimize jobs.", m.OptimizeGenerations.Load())
+	counter("hcperf_sweep_cells_total", "Batch-sweep cells processed.", m.SweepCells.Load())
+	counter("hcperf_sweep_cache_hits_total", "Batch-sweep cells satisfied from a store tier without re-execution.", m.SweepCacheHits.Load())
+
+	// The tiered result store, one counter family per metric with a tier
+	// label, so dashboards can tell a warm memory cache from a disk
+	// restore after a restart.
+	tiered := func(name, help string, memory, disk uint64) {
+		add("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		add("%s{tier=\"memory\"} %d\n", name, memory)
+		add("%s{tier=\"disk\"} %d\n", name, disk)
+	}
+	st := m.Store
+	tiered("hcperf_store_hits_total", "Result-store lookups satisfied, by tier.",
+		st.MemoryHits.Load(), st.DiskHits.Load())
+	tiered("hcperf_store_misses_total", "Result-store lookups that fell through, by tier.",
+		st.MemoryMisses.Load(), st.DiskMisses.Load())
+	tiered("hcperf_store_evictions_total", "Result-store entries evicted to stay within capacity, by tier.",
+		st.MemoryEvictions.Load(), st.DiskEvictions.Load())
+	counter("hcperf_store_corrupt_total", "Disk-store entries that failed to decode and were quarantined.", st.Corrupt.Load())
 
 	m.mu.Lock()
 	if len(m.optimizeBest) > 0 {

@@ -1,0 +1,27 @@
+package service
+
+import (
+	"context"
+
+	"hcperf/internal/run"
+)
+
+// The serving layer's request, result and executor types ARE the run
+// pipeline's — aliases, not copies — so a request submitted over HTTP and
+// the same request run from the CLI normalize, digest, execute and persist
+// through exactly one implementation (and one digest namespace; see
+// TestDigestNamespaceFrozen for the compatibility pin).
+type (
+	// RunRequest is the body of POST /v1/runs.
+	RunRequest = run.Request
+	// RunResult is a completed run.
+	RunResult = run.Result
+	// RunFunc executes one normalized request; tests inject fakes.
+	RunFunc = run.Func
+)
+
+// Execute is the real execution function (run.Execute); the manager's
+// default.
+func Execute(ctx context.Context, req RunRequest) (*RunResult, error) {
+	return run.Execute(ctx, req)
+}

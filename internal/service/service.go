@@ -10,7 +10,9 @@ import (
 
 	"hcperf/internal/experiment"
 	"hcperf/internal/lifecycle"
+	"hcperf/internal/scenario"
 	"hcperf/internal/search"
+	"hcperf/internal/store"
 	"hcperf/internal/version"
 )
 
@@ -20,15 +22,19 @@ type Config struct {
 	Workers   int
 	QueueSize int
 	CacheSize int
+	// Disk is the persistent result tier shared with the CLI's -store
+	// flag; nil runs memory-only.
+	Disk *store.Disk
 	// Run overrides the execution function (tests only).
 	Run RunFunc
 }
 
-// Server is the hcperf-serve HTTP API: run submission and retrieval,
-// registry listing, health, metrics and pprof.
+// Server is the hcperf-serve HTTP API: run submission and retrieval, batch
+// sweeps, registry listing, health, metrics and pprof.
 type Server struct {
-	mgr *Manager
-	mux *http.ServeMux
+	mgr     *Manager
+	mux     *http.ServeMux
+	workers int // sweep fan-out width (same knob as the worker pool)
 }
 
 // New builds the server and starts its worker pool.
@@ -39,14 +45,20 @@ func New(cfg Config) *Server {
 			QueueSize: cfg.QueueSize,
 			CacheSize: cfg.CacheSize,
 			Run:       cfg.Run,
+			Disk:      cfg.Disk,
 		}),
-		mux: http.NewServeMux(),
+		mux:     http.NewServeMux(),
+		workers: cfg.Workers,
+	}
+	if s.workers < 1 {
+		s.workers = 2 // keep in lockstep with NewManager's default
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleGetTrace)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("GET /v1/optimize/{id}", s.handleGetRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -56,7 +68,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Everything else gets the same JSON error envelope as handler
+	// failures, so clients never have to parse a text/plain 404.
+	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
+}
+
+// handleNotFound is the catch-all route: a uniform JSON 404 for unknown
+// paths (the per-resource handlers produce their own JSON 404s for unknown
+// IDs).
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "no such endpoint %s %s", r.Method, r.URL.Path)
 }
 
 // Handler returns the routed handler (httptest mounts this directly).
@@ -101,10 +123,16 @@ type runStatus struct {
 	// QueuePosition is how many jobs are ahead of this one while it is
 	// queued (0 = next to run); absent once it starts. A pointer so that
 	// position zero still renders.
-	QueuePosition *int             `json:"queue_position,omitempty"`
-	ElapsedMS     float64          `json:"elapsed_ms,omitempty"`
-	Digest        string           `json:"report_digest,omitempty"`
-	Report        *experiment.View `json:"report,omitempty"`
+	QueuePosition *int    `json:"queue_position,omitempty"`
+	ElapsedMS     float64 `json:"elapsed_ms,omitempty"`
+	Digest        string  `json:"report_digest,omitempty"`
+	// Cache is the result's provenance: "memory" when it was computed or
+	// resident in this process, "disk" when it was restored from the
+	// persistent store, "miss" on the submission response that scheduled
+	// a fresh execution. Absent while the job is queued or running. The
+	// same value rides in the X-HCPerf-Cache response header.
+	Cache  store.Tier       `json:"cache,omitempty"`
+	Report *experiment.View `json:"report,omitempty"`
 	// Progress is the latest generation snapshot of a running optimize
 	// job; Optimize is the structured search report once it completes.
 	Progress *search.Progress `json:"progress,omitempty"`
@@ -136,6 +164,7 @@ func (s *Server) status(snap JobSnapshot, includeSeries bool) runStatus {
 		if d, err := snap.Result.Report.Digest(); err == nil {
 			st.Digest = d
 		}
+		st.Cache = snap.Source
 		st.Optimize = snap.Result.Optimize
 		st.TraceLen = len(snap.Result.Events)
 	}
@@ -191,10 +220,16 @@ func (s *Server) submit(w http.ResponseWriter, req RunRequest) {
 		return
 	}
 	st := s.status(job.Snapshot(), false)
-	st.Cached = outcome == SubmitCached
+	st.Cached = outcome == SubmitCached || outcome == SubmitCachedDisk
 	st.Deduped = outcome == SubmitDeduped
+	// The submission response reports which tier satisfied it — "miss"
+	// for a fresh (or coalesced in-flight) execution — in both the body
+	// and the X-HCPerf-Cache header, so curl -i is enough to check cache
+	// provenance.
+	st.Cache = outcome.Tier()
+	w.Header().Set("X-HCPerf-Cache", string(outcome.Tier()))
 	code := http.StatusAccepted
-	if outcome == SubmitCached {
+	if st.Cached {
 		// The result (or terminal error) is already available.
 		code = http.StatusOK
 	}
@@ -256,10 +291,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 // scenarioList returns the scenario run kinds, sorted — the same
 // deterministic-listing discipline as the experiment registry.
 func scenarioList() []string {
-	out := make([]string, 0, len(scenarioNames))
-	for name := range scenarioNames {
-		out = append(out, name)
-	}
+	out := append([]string(nil), scenario.ScenarioNames()...)
 	sort.Strings(out)
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"hcperf/internal/experiment"
+	"hcperf/internal/scenario"
 )
 
 // newTestServer mounts a Server with the given runner on httptest.
@@ -279,8 +280,8 @@ func TestExperimentsListing(t *testing.T) {
 			t.Errorf("listing[%d] = %+v, want %+v", i, got.Experiments[i], want[i])
 		}
 	}
-	if len(got.Scenarios) != len(scenarioNames) {
-		t.Errorf("scenarios = %v, want all %d kinds", got.Scenarios, len(scenarioNames))
+	if len(got.Scenarios) != len(scenario.ScenarioNames()) {
+		t.Errorf("scenarios = %v, want all %d kinds", got.Scenarios, len(scenario.ScenarioNames()))
 	}
 	for i := 1; i < len(got.Scenarios); i++ {
 		if got.Scenarios[i] < got.Scenarios[i-1] {

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hcperf/internal/store"
+)
+
+func TestSweepExpansionOrderAndParams(t *testing.T) {
+	var sr SweepRequest
+	body := `{
+		"template": {"scenario": "carfollow"},
+		"grid": {"seed": [1, 2], "duration": [1, 2]}
+	}`
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := expandSweep(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+	// Axes iterate in sorted path order ("duration" before "seed"), first
+	// axis slowest.
+	wantParams := []string{
+		"duration=1 seed=1",
+		"duration=1 seed=2",
+		"duration=2 seed=1",
+		"duration=2 seed=2",
+	}
+	seen := make(map[string]int)
+	for i, c := range cells {
+		if got := fmtParams(c.Params); got != wantParams[i] {
+			t.Errorf("cell %d params = %q, want %q", i, got, wantParams[i])
+		}
+		d := c.Req.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("cells %d and %d share a digest", prev, i)
+		}
+		seen[d] = i
+		if c.Req.Spec == nil || c.Req.Spec.Scenario != "carfollow" {
+			t.Errorf("cell %d is not a carfollow spec request", i)
+		}
+	}
+}
+
+func TestSweepExpansionRejectsBadInput(t *testing.T) {
+	for _, tt := range []struct{ name, body, wantErr string }{
+		{"no template", `{"grid": {"seed": [1]}}`, "template"},
+		{"empty axis", `{"template": {"scenario": "carfollow"}, "grid": {"seed": []}}`, "no values"},
+		{"unknown spec field", `{"template": {"scenario": "carfollow"}, "grid": {"sead": [1]}}`, "sead"},
+		{"bad scenario", `{"template": {"scenario": "flying"}, "grid": {}}`, "flying"},
+		{"oversize", fmt.Sprintf(`{"template": {"scenario": "carfollow"}, "grid": {"seed": [%s1000]}}`,
+			strings.Repeat("1,", maxSweepCells)), "cells"},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			var sr SweepRequest
+			if err := json.Unmarshal([]byte(tt.body), &sr); err != nil {
+				t.Fatal(err)
+			}
+			_, err := expandSweep(sr)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("expandSweep err = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	for _, block := range strings.Split(strings.TrimSpace(body), "\n\n") {
+		var ev sseEvent
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				ev.data = strings.TrimPrefix(line, "data: ")
+			default:
+				t.Fatalf("unparseable SSE line %q", line)
+			}
+		}
+		if ev.name == "" || ev.data == "" {
+			t.Fatalf("incomplete SSE block %q", block)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func postSweep(t *testing.T, ts string, body string) (int, []sseEvent) {
+	t.Helper()
+	resp, err := http.Post(ts+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("sweep Content-Type = %q, want text/event-stream", ct)
+	}
+	return resp.StatusCode, parseSSE(t, sb.String())
+}
+
+func TestSweepStreamsCellsInOrder(t *testing.T) {
+	f := newFakeRunner(false)
+	srv, ts := newTestServer(t, Config{Workers: 4, QueueSize: 8, Run: f.Run})
+	body := `{"template": {"scenario": "carfollow"}, "grid": {"seed": [1, 2, 3, 4, 5, 6]}}`
+
+	code, events := postSweep(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("sweep status = %d, want 200", code)
+	}
+	if len(events) != 8 { // sweep + 6 cells + done
+		t.Fatalf("got %d events, want 8: %+v", len(events), events)
+	}
+	if events[0].name != "sweep" || events[len(events)-1].name != "done" {
+		t.Fatalf("stream not framed by sweep/done: %+v", events)
+	}
+	var lastID string
+	for i, ev := range events[1:7] {
+		if ev.name != "cell" {
+			t.Fatalf("event %d = %q, want cell", i+1, ev.name)
+		}
+		var cell sweepCellEvent
+		if err := json.Unmarshal([]byte(ev.data), &cell); err != nil {
+			t.Fatal(err)
+		}
+		// Despite 4 workers completing out of order, cells emit in index
+		// order.
+		if cell.Index != i || cell.Of != 6 {
+			t.Errorf("cell %d has index %d of %d, want %d of 6", i, cell.Index, cell.Of, i)
+		}
+		if cell.State != StateDone || cell.Cache != store.TierMiss || cell.Error != "" {
+			t.Errorf("cell %d = %+v, want done/miss", i, cell)
+		}
+		if cell.ID == "" || cell.ReportDigest == "" {
+			t.Errorf("cell %d missing digests: %+v", i, cell)
+		}
+		lastID = cell.ID
+	}
+	var done sweepDoneEvent
+	if err := json.Unmarshal([]byte(events[7].data), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Cells != 6 || done.Completed != 6 || done.Failed != 0 || done.CacheHits != 0 {
+		t.Errorf("done = %+v, want 6 cells all completed, no hits", done)
+	}
+	if got := f.executions.Load(); got != 6 {
+		t.Errorf("executions = %d, want 6", got)
+	}
+
+	// Sweep cells are ordinary runs: GET serves them, and the manager
+	// counts them as cached.
+	var st runStatus
+	if code := getJSON(t, ts.URL+"/v1/runs/"+lastID, &st); code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("GET sweep cell = (%d, %+v), want 200/done", code, st)
+	}
+	if st.Cache != store.TierMemory {
+		t.Errorf("sweep cell cache = %q, want memory", st.Cache)
+	}
+
+	// The identical sweep again: every cell is a memory hit, zero new
+	// executions.
+	_, events = postSweep(t, ts.URL, body)
+	if err := json.Unmarshal([]byte(events[len(events)-1].data), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.CacheHits != 6 || done.Completed != 6 {
+		t.Errorf("re-sweep done = %+v, want 6 cache hits", done)
+	}
+	if got := f.executions.Load(); got != 6 {
+		t.Errorf("executions after re-sweep = %d, want still 6", got)
+	}
+	_ = srv
+}
+
+func TestSweepInvalidBodyIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4, Run: newFakeRunner(false).Run})
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"template": {"scenario": "carfollow"}, "grid": {"bogus_field": [1]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid sweep = %d, want 400", resp.StatusCode)
+	}
+	assertJSONError(t, resp)
+}

@@ -1,9 +1,9 @@
-package service
+package store
 
 import "testing"
 
-func TestLRUCacheEvictionOrder(t *testing.T) {
-	c := newLRUCache(2)
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(2)
 	if ev := c.Add("a"); len(ev) != 0 {
 		t.Fatalf("Add(a) evicted %v", ev)
 	}
@@ -24,8 +24,8 @@ func TestLRUCacheEvictionOrder(t *testing.T) {
 	}
 }
 
-func TestLRUCacheReAddRefreshes(t *testing.T) {
-	c := newLRUCache(2)
+func TestLRUReAddRefreshes(t *testing.T) {
+	c := NewLRU(2)
 	c.Add("a")
 	c.Add("b")
 	if ev := c.Add("a"); len(ev) != 0 {
@@ -36,8 +36,8 @@ func TestLRUCacheReAddRefreshes(t *testing.T) {
 	}
 }
 
-func TestLRUCacheMinimumCapacity(t *testing.T) {
-	c := newLRUCache(0) // clamped to 1
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := NewLRU(0) // clamped to 1
 	c.Add("a")
 	if ev := c.Add("b"); len(ev) != 1 || ev[0] != "a" {
 		t.Fatalf("Add(b) evicted %v, want [a]", ev)
