@@ -4,14 +4,29 @@
 GO ?= go
 
 # Packages that own concurrency: the worker pool itself plus everything the
-# pool fans out (experiments, the simulation engine, the scenarios) and the
-# wall-clock executor.
+# pool fans out (experiments, the simulation engine, the scenarios), the
+# wall-clock executor, the resilience policy layer and the load generator's
+# client. Every package under internal/ must appear in either RACE_PKGS or
+# RACE_EXEMPT — scripts/race_pkgs_guard.sh (run by `make race` and CI)
+# fails the build otherwise, so a new package cannot silently skip the
+# race detector.
 RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
              ./internal/engine/... ./internal/scenario/... ./internal/rt/... \
              ./internal/lifecycle/... ./internal/service/... ./internal/fleet/... \
-             ./internal/search/... ./internal/run/... ./internal/store/...
+             ./internal/search/... ./internal/run/... ./internal/store/... \
+             ./internal/policy/... ./internal/loadgen/...
 
-.PHONY: ci vet build test race bench bench-json bench-check bench-update fuzz suite trace-demo serve
+# Provably single-threaded packages (pure math, data shapes, encoders):
+# exempted from the race pass, but still enumerated so the guard can tell
+# "deliberately exempt" from "forgotten".
+RACE_EXEMPT := ./internal/analysis/... ./internal/bus/... ./internal/core/... \
+               ./internal/dag/... ./internal/exectime/... ./internal/hungarian/... \
+               ./internal/metrics/... ./internal/mfc/... ./internal/perf/... \
+               ./internal/rate/... ./internal/sched/... ./internal/simtime/... \
+               ./internal/stats/... ./internal/trace/... ./internal/vehicle/... \
+               ./internal/version/...
+
+.PHONY: ci vet build test race race-guard bench bench-json bench-check bench-update fuzz suite trace-demo serve load-smoke
 
 # Benchtime for the perf-baseline suite. A duration (not an iteration
 # count): the sub-microsecond benchmarks need >=10ms of samples for stable
@@ -19,7 +34,9 @@ RACE_PKGS := ./internal/runner/... ./internal/experiment/... \
 # allocations are exact per op; setup allocations amortise to zero).
 BENCHTIME ?= 10ms
 # Where bench-check writes the fresh run (CI uploads it as an artifact).
-BENCH_OUT ?= bench_fresh.json
+# Lives under the git-ignored out/ so repeated local runs never litter the
+# working tree.
+BENCH_OUT ?= out/bench_fresh.json
 # Extra hcperf-bench flags for bench-check; CI passes
 # "-cpuprofile bench_cpu.pprof -memprofile bench_heap.pprof" so kernel
 # regressions are diagnosable from the uploaded profiles.
@@ -37,10 +54,15 @@ build:
 test:
 	$(GO) test ./...
 
+## race-guard: fail if any internal package is missing from both RACE_PKGS
+## and RACE_EXEMPT above.
+race-guard:
+	@sh scripts/race_pkgs_guard.sh "$(RACE_PKGS)" "$(RACE_EXEMPT)"
+
 ## race: concurrency-sensitive packages under the race detector. Includes
 ## the determinism harness (serial vs parallel digests) and the overlapping
 ## sweep test, so data races surface as reports or fingerprint mismatches.
-race:
+race: race-guard
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
 ## bench: the parallel-runner benchmarks recorded in EXPERIMENTS.md.
@@ -56,6 +78,7 @@ bench-json:
 ## BENCH_baseline.json; non-zero exit on regression (>25% allocs/op or
 ## >40% ns/op by default). The fresh run is written to $(BENCH_OUT).
 bench-check:
+	@mkdir -p $(dir $(BENCH_OUT))
 	$(GO) run ./cmd/hcperf-bench -check BENCH_baseline.json -benchtime $(BENCHTIME) -out $(BENCH_OUT) $(BENCH_FLAGS)
 
 ## bench-update: regenerate BENCH_baseline.json. Refuses to run with a
@@ -88,3 +111,11 @@ trace-demo:
 ## curl examples: submit, poll, trace, metrics).
 serve:
 	$(GO) run ./cmd/hcperf-serve -addr :8080
+
+## load-smoke: a local version of the CI soak gate — 10s of open-loop load
+## against a throwaway server, checked against LOAD_baseline.json. Assumes
+## `make serve` (or any hcperf-serve) is already listening on :8080.
+load-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/hcperf-load -url http://127.0.0.1:8080 -rps 50 -duration 10s -warmup 2s \
+		-check LOAD_baseline.json -out out/load_smoke.json

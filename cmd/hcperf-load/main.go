@@ -1,0 +1,120 @@
+// Command hcperf-load drives synthetic load against an hcperf-serve
+// instance and reports client-side latency quantiles alongside the
+// server's own /metrics accounting — the measurement half of the CI soak
+// gate.
+//
+// Usage:
+//
+//	hcperf-load -url http://127.0.0.1:8080 [-rps 50 | -concurrency 8]
+//	            [-duration 10s] [-warmup 2s] [-mix mix.json] [-api-key key]
+//	            [-timeout 10s] [-seed 1] [-retries 0]
+//	            [-out out/load.json] [-check LOAD_baseline.json]
+//	hcperf-load -version
+//
+// With -rps the run is open loop: requests launch on a fixed schedule and
+// latency is measured from each request's scheduled time, so server
+// stalls show up as the queueing delay they caused (coordinated-omission
+// aware). Without -rps the run is closed loop: -concurrency workers fire
+// back-to-back as fast as the server answers.
+//
+// The mix file is a JSON array of {"name", "weight", "body"} entries;
+// each request posts one body, picked by weight, to POST /v1/runs. The
+// default mix cycles four experiment digests, measuring the steady state
+// the service is built for: content-addressed cache hits.
+//
+// -out writes the report as deterministic JSON; -check reads a
+// thresholds file (see LOAD_baseline.json) and exits 1 listing every
+// violated bound — the same baseline/compare discipline as the
+// BENCH_baseline.json benchmark gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hcperf/internal/loadgen"
+	"hcperf/internal/version"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "hcperf-serve base URL")
+		rps         = flag.Float64("rps", 0, "open-loop target rate, req/s (0 = closed loop)")
+		concurrency = flag.Int("concurrency", 8, "workers (closed-loop load / open-loop in-flight cap)")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup      = flag.Duration("warmup", 2*time.Second, "unmeasured lead-in")
+		mixPath     = flag.String("mix", "", "JSON mix file (default: built-in experiment mix)")
+		apiKey      = flag.String("api-key", "", "X-API-Key header (keys this run's rate-limit bucket)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		seed        = flag.Int64("seed", 1, "mix-picking RNG seed")
+		retries     = flag.Int("retries", 0, "budgeted retries per request on transport errors and 5xx")
+		outPath     = flag.String("out", "", "write the JSON report here")
+		checkPath   = flag.String("check", "", "thresholds file to gate on (exit 1 on violation)")
+		showVersion = flag.Bool("version", false, "print build identity and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
+	if err := run(*url, *rps, *concurrency, *duration, *warmup, *mixPath, *apiKey, *timeout, *seed, *retries, *outPath, *checkPath); err != nil {
+		fmt.Fprintln(os.Stderr, "hcperf-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, rps float64, concurrency int, duration, warmup time.Duration, mixPath, apiKey string, timeout time.Duration, seed int64, retries int, outPath, checkPath string) error {
+	cfg := loadgen.Config{
+		URL: url, RPS: rps, Concurrency: concurrency,
+		Duration: duration, Warmup: warmup,
+		APIKey: apiKey, Timeout: timeout, Seed: seed, Retries: retries,
+	}
+	if mixPath != "" {
+		mix, err := loadgen.ReadMixFile(mixPath)
+		if err != nil {
+			return err
+		}
+		cfg.Mix = mix
+	}
+	// Thresholds are parsed before the run so a broken gate file fails in
+	// milliseconds, not after a full soak.
+	var th *loadgen.Thresholds
+	if checkPath != "" {
+		t, err := loadgen.ReadThresholds(checkPath)
+		if err != nil {
+			return err
+		}
+		th = t
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+
+	if outPath != "" {
+		if err := rep.WriteFile(outPath); err != nil {
+			return err
+		}
+		fmt.Printf("report     %s\n", outPath)
+	}
+	if th != nil {
+		if violations := th.Check(rep); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "\nLOAD GATE FAILED (%s):\n", checkPath)
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  ", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("load gate  PASS (%s)\n", checkPath)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	hcperf-serve [-addr :8080] [-workers 4] [-queue 64] [-cache 128] [-store dir] [-drain 10s]
+//	             [-rate-limit 0] [-rate-burst 0] [-breaker-error-rate 0.5] [-breaker-cooldown 5s] [-no-breaker]
 //	hcperf-serve -version
 //
 // Endpoints:
@@ -30,6 +31,16 @@
 // (miss | memory | disk) naming the tier that answered. An unusable store
 // directory logs a warning and degrades to memory-only serving.
 //
+// The resilience layer sits in front of and behind the queue: with
+// -rate-limit, each client (keyed by Authorization: Bearer token, then
+// X-API-Key, then remote IP) gets a token bucket on the POST endpoints —
+// denials are 429s whose Retry-After is exact refill arithmetic, and every
+// response carries X-RateLimit-Limit/Remaining/Reset. A circuit breaker
+// (on unless -no-breaker) watches the execute stage's error rate and
+// fast-fails fresh executions while open; cache and disk hits keep
+// flowing. Both export under /metrics as hcperf_ratelimit_* and
+// hcperf_breaker_*.
+//
 // SIGINT/SIGTERM begins a graceful drain: the listener stops accepting,
 // queued and in-flight runs get -drain to finish, then the process exits.
 package main
@@ -47,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"hcperf/internal/policy"
 	"hcperf/internal/service"
 	"hcperf/internal/store"
 	"hcperf/internal/version"
@@ -61,24 +73,36 @@ func main() {
 		storeDir    = flag.String("store", "", "disk-backed result store directory (persists across restarts; shared with hcperf-sim -store)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
 		showVersion = flag.Bool("version", false, "print build identity and exit")
+
+		rateLimit  = flag.Float64("rate-limit", 0, "per-client sustained request rate on POST endpoints, req/s (0 disables)")
+		rateBurst  = flag.Float64("rate-burst", 0, "per-client burst allowance (default 2×rate-limit)")
+		noBreaker  = flag.Bool("no-breaker", false, "disable the execute-stage circuit breaker")
+		brkErrRate = flag.Float64("breaker-error-rate", 0, "error-rate threshold that trips the breaker (default 0.5)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "open-state cooldown before a half-open probe (default 5s)")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.Get())
 		return
 	}
-	if err := run(*addr, *workers, *queue, *cache, *storeDir, *drain); err != nil {
+	pol := service.PolicyConfig{
+		RateLimit: *rateLimit,
+		RateBurst: *rateBurst,
+		NoBreaker: *noBreaker,
+		Breaker:   policy.BreakerConfig{ErrorRate: *brkErrRate, Cooldown: *brkCool},
+	}
+	if err := run(*addr, *workers, *queue, *cache, *storeDir, *drain, pol); err != nil {
 		fmt.Fprintln(os.Stderr, "hcperf-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache int, storeDir string, drain time.Duration) error {
+func run(addr string, workers, queue, cache int, storeDir string, drain time.Duration, pol service.PolicyConfig) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	cfg := service.Config{Workers: workers, QueueSize: queue, CacheSize: cache}
+	cfg := service.Config{Workers: workers, QueueSize: queue, CacheSize: cache, Policy: pol}
 	if storeDir != "" {
 		// A store that cannot be opened (read-only volume, path under a
 		// file) costs persistence, not availability: log and serve

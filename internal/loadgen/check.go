@@ -1,0 +1,108 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Thresholds is the checked-in gate a load report is judged against
+// (LOAD_baseline.json at the repository root for the CI soak). Every
+// field is a pointer: absent fields simply aren't checked, so one file
+// can gate throughput-only for a smoke run and the full set for a soak.
+type Thresholds struct {
+	// MinRPS is the floor on achieved successful requests/second.
+	MinRPS *float64 `json:"min_rps,omitempty"`
+	// MaxP50MS / MaxP99MS / MaxP999MS cap the latency quantiles.
+	MaxP50MS  *float64 `json:"max_p50_ms,omitempty"`
+	MaxP99MS  *float64 `json:"max_p99_ms,omitempty"`
+	MaxP999MS *float64 `json:"max_p999_ms,omitempty"`
+	// MaxErrorRatio caps (transport errors + 5xx) / requests.
+	MaxErrorRatio *float64 `json:"max_error_ratio,omitempty"`
+	// MaxShedRatio caps the server-side shed ratio (requires a /metrics
+	// scrape; violated as "unmeasured" when the scrape failed).
+	MaxShedRatio *float64 `json:"max_shed_ratio,omitempty"`
+	// MaxBreakerOpens caps breaker trips during the window (same scrape
+	// requirement as MaxShedRatio).
+	MaxBreakerOpens *float64 `json:"max_breaker_opens,omitempty"`
+	// MaxRetryAfterViolations caps 429s carrying a dishonest Retry-After.
+	MaxRetryAfterViolations *float64 `json:"max_retry_after_violations,omitempty"`
+}
+
+// ReadThresholds loads a thresholds file.
+func ReadThresholds(path string) (*Thresholds, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Thresholds
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("loadgen: thresholds file %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Violation is one threshold the report broke.
+type Violation struct {
+	Metric string
+	Value  float64
+	Bound  float64
+	// Floor distinguishes "must be at least" (min_rps) from "must be at
+	// most" bounds in the rendered table.
+	Floor bool
+	// Unmeasured marks a server-side bound that could not be evaluated
+	// because the /metrics scrape failed — treated as a violation, since
+	// a gate that silently skips its checks is no gate.
+	Unmeasured bool
+}
+
+func (v Violation) String() string {
+	if v.Unmeasured {
+		return fmt.Sprintf("%-26s unmeasured (metrics scrape failed), bound %g", v.Metric, v.Bound)
+	}
+	rel := "<="
+	if v.Floor {
+		rel = ">="
+	}
+	return fmt.Sprintf("%-26s %g violates %s %g", v.Metric, v.Value, rel, v.Bound)
+}
+
+// Check evaluates the report against the thresholds, returning every
+// violation (empty = the gate passes).
+func (t *Thresholds) Check(r *Report) []Violation {
+	var out []Violation
+	ceil := func(metric string, value float64, bound *float64) {
+		if bound != nil && value > *bound {
+			out = append(out, Violation{Metric: metric, Value: value, Bound: *bound})
+		}
+	}
+	if t.MinRPS != nil && r.AchievedRPS < *t.MinRPS {
+		out = append(out, Violation{Metric: "min_rps", Value: r.AchievedRPS, Bound: *t.MinRPS, Floor: true})
+	}
+	ceil("max_p50_ms", r.Latency.P50MS, t.MaxP50MS)
+	ceil("max_p99_ms", r.Latency.P99MS, t.MaxP99MS)
+	ceil("max_p999_ms", r.Latency.P999MS, t.MaxP999MS)
+	ceil("max_error_ratio", r.ErrorRatio, t.MaxErrorRatio)
+	ceil("max_retry_after_violations", float64(r.RetryAfterViolations), t.MaxRetryAfterViolations)
+	for _, sb := range []struct {
+		metric string
+		bound  *float64
+		value  func(*ServerDelta) float64
+	}{
+		{"max_shed_ratio", t.MaxShedRatio, func(s *ServerDelta) float64 { return s.ShedRatio }},
+		{"max_breaker_opens", t.MaxBreakerOpens, func(s *ServerDelta) float64 { return s.BreakerOpens }},
+	} {
+		if sb.bound == nil {
+			continue
+		}
+		if r.Server == nil {
+			out = append(out, Violation{Metric: sb.metric, Bound: *sb.bound, Unmeasured: true})
+			continue
+		}
+		ceil(sb.metric, sb.value(r.Server), sb.bound)
+	}
+	return out
+}

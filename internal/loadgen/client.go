@@ -1,0 +1,355 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"hcperf/internal/policy"
+)
+
+// MixEntry is one weighted request shape in the load mix: Body is posted
+// verbatim to /v1/runs, picked with probability Weight over the mix's
+// total weight.
+type MixEntry struct {
+	Name   string          `json:"name"`
+	Weight float64         `json:"weight"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// DefaultMix exercises the cache-and-execute split: four distinct
+// experiment digests, so a run warms four fresh executions and then
+// measures the steady state the service is designed for — mostly
+// content-addressed cache hits.
+func DefaultMix() []MixEntry {
+	mix := make([]MixEntry, 4)
+	for i := range mix {
+		mix[i] = MixEntry{
+			Name:   fmt.Sprintf("fig5-seed%d", i+1),
+			Weight: 1,
+			Body:   json.RawMessage(fmt.Sprintf(`{"experiment":"fig5","seed":%d}`, i+1)),
+		}
+	}
+	return mix
+}
+
+// ReadMixFile loads a JSON mix file: an array of {name, weight, body}
+// entries.
+func ReadMixFile(path string) ([]MixEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mix []MixEntry
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mix); err != nil {
+		return nil, fmt.Errorf("loadgen: mix file %s: %w", path, err)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: mix file %s is empty", path)
+	}
+	for i, e := range mix {
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %d (%s): weight must be > 0", i, e.Name)
+		}
+		if len(e.Body) == 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %d (%s): missing body", i, e.Name)
+		}
+	}
+	return mix, nil
+}
+
+// Config shapes one load run against an hcperf-serve instance.
+type Config struct {
+	// URL is the server base, e.g. http://127.0.0.1:8080.
+	URL string
+	// RPS > 0 runs open loop: requests are launched on a fixed schedule of
+	// 1/RPS and latency is measured from each request's *scheduled* time,
+	// so a stalled server accrues the queueing delay it caused instead of
+	// silently slowing the offered load (the coordinated-omission trap).
+	// RPS == 0 runs closed loop: Concurrency workers fire back-to-back.
+	RPS float64
+	// Concurrency is the worker count — the closed-loop load, or the
+	// open-loop in-flight cap (default 8).
+	Concurrency int
+	// Duration is the measured window (default 10s); Warmup is the
+	// unmeasured lead-in that fills caches and steadies the pools (zero
+	// is honored: the hcperf-load flag supplies the 2s default).
+	Duration, Warmup time.Duration
+	// Mix is the weighted request set (default DefaultMix).
+	Mix []MixEntry
+	// APIKey, when set, rides as X-API-Key so per-client rate limiting
+	// keys this run separately from other traffic.
+	APIKey string
+	// Timeout bounds one request (default 10s).
+	Timeout time.Duration
+	// Seed fixes the mix-picking RNG (default 1), keeping the request
+	// sequence reproducible across runs.
+	Seed int64
+	// Retries is the extra attempts per request on transport errors and
+	// 5xx, spent against a shared 10% retry budget — the load generator
+	// follows the same amplification discipline it is used to test
+	// (default 0: report errors raw).
+	Retries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency < 1 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// workerStats is one worker's private tally; merged under the runner's
+// mutex after the worker exits, so the hot path never synchronizes.
+type workerStats struct {
+	hist                 Hist
+	codes                map[int]uint64
+	sent, ok             uint64
+	transportErrs        uint64
+	limited              uint64
+	retryAfterViolations uint64
+}
+
+// pick returns a mix entry by cumulative weight.
+func pick(mix []MixEntry, cum []float64, rng *rand.Rand) *MixEntry {
+	r := rng.Float64() * cum[len(cum)-1]
+	for i := range cum {
+		if r < cum[i] {
+			return &mix[i]
+		}
+	}
+	return &mix[len(mix)-1]
+}
+
+// Run executes one load run and returns its report. The sequence is:
+// start the workers, let Warmup elapse unmeasured, snapshot /metrics,
+// measure for Duration, stop the workers, snapshot /metrics again — the
+// client-side histogram and the server-side delta cover the same window.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return nil, errors.New("loadgen: URL is required")
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		},
+	}
+
+	cum := make([]float64, len(cfg.Mix))
+	total := 0.0
+	for i, e := range cfg.Mix {
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %d (%s): weight must be > 0", i, e.Name)
+		}
+		total += e.Weight
+		cum[i] = total
+	}
+
+	var budget *policy.Budget
+	if cfg.Retries > 0 {
+		budget = policy.NewBudget(0.1, 10)
+	}
+
+	start := time.Now()
+	measureStart := start.Add(cfg.Warmup)
+	end := measureStart.Add(cfg.Duration)
+
+	// Open loop: the pacer stamps each slot with its scheduled time and
+	// the workers measure from that stamp. The channel is a queue of
+	// *intended* start times — when every worker is busy the stamps back
+	// up and the eventual latency includes the wait, which is exactly the
+	// coordinated-omission-aware accounting.
+	var sched chan time.Time
+	if cfg.RPS > 0 {
+		sched = make(chan time.Time, 4*cfg.Concurrency)
+		interval := time.Duration(float64(time.Second) / cfg.RPS)
+		go func() {
+			defer close(sched)
+			for next := start; next.Before(end); next = next.Add(interval) {
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+				select {
+				case sched <- next:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	var (
+		mu     sync.Mutex
+		agg    = workerStats{codes: make(map[int]uint64)}
+		wg     sync.WaitGroup
+		runErr error
+	)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			st := &workerStats{codes: make(map[int]uint64)}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			defer func() {
+				mu.Lock()
+				agg.merge(st)
+				mu.Unlock()
+			}()
+			for {
+				var from time.Time
+				if sched != nil {
+					t, open := <-sched
+					if !open {
+						return
+					}
+					from = t
+				} else {
+					from = time.Now()
+					if !from.Before(end) || ctx.Err() != nil {
+						return
+					}
+				}
+				entry := pick(cfg.Mix, cum, rng)
+				st.request(ctx, client, cfg, budget, entry, from, from.After(measureStart) || from.Equal(measureStart))
+			}
+		}(w)
+	}
+
+	// Snapshot /metrics at each edge of the measurement window. A failed
+	// scrape degrades the report (Server == nil) rather than failing the
+	// run — the client-side numbers are still valid.
+	var before, after Snapshot
+	metricsURL := cfg.URL + "/metrics"
+	select {
+	case <-time.After(time.Until(measureStart)):
+		before, _ = scrape(ctx, client, metricsURL)
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	}
+	if runErr == nil {
+		select {
+		case <-time.After(time.Until(end)):
+		case <-ctx.Done():
+			runErr = ctx.Err()
+		}
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if before != nil {
+		after, _ = scrape(context.Background(), client, metricsURL)
+	}
+
+	rep := buildReport(cfg, &agg)
+	if before != nil && after != nil {
+		rep.Server = serverDelta(before, after, cfg.Duration)
+	}
+	return rep, nil
+}
+
+// request fires one mix entry and records the outcome. from is the
+// latency origin (scheduled time in open loop, send time in closed loop);
+// measured says whether the sample falls in the measurement window.
+func (st *workerStats) request(ctx context.Context, client *http.Client, cfg Config, budget *policy.Budget, entry *MixEntry, from time.Time, measured bool) {
+	var code int
+	op := func(ctx context.Context) error {
+		code = 0
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL+"/v1/runs", bytes.NewReader(entry.Body))
+		if err != nil {
+			return policy.Permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if cfg.APIKey != "" {
+			req.Header.Set("X-API-Key", cfg.APIKey)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		// Drain so the connection returns to the pool.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		code = resp.StatusCode
+		if code == http.StatusTooManyRequests && measured {
+			st.limited++
+			// An honest 429 carries a parseable, >= 1s Retry-After; one
+			// without is a violation the -check thresholds can gate on.
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || s < 1 {
+				st.retryAfterViolations++
+			}
+		}
+		if code >= 500 {
+			return fmt.Errorf("server status %d", code)
+		}
+		return nil
+	}
+
+	var err error
+	if cfg.Retries > 0 {
+		err = policy.Do(ctx, policy.RetryConfig{Attempts: cfg.Retries + 1, Budget: budget, Seed: from.UnixNano()}, op)
+	} else {
+		err = op(ctx)
+	}
+	if !measured {
+		return
+	}
+	st.sent++
+	st.hist.Record(time.Since(from))
+	if code != 0 {
+		st.codes[code]++
+	}
+	switch {
+	case err != nil && code == 0:
+		st.transportErrs++
+	case err == nil && code < 400:
+		st.ok++
+	}
+}
+
+// merge folds other into st (used once per worker, under the runner's
+// mutex).
+func (st *workerStats) merge(other *workerStats) {
+	st.hist.Merge(&other.hist)
+	for c, n := range other.codes {
+		st.codes[c] += n
+	}
+	st.sent += other.sent
+	st.ok += other.ok
+	st.transportErrs += other.transportErrs
+	st.limited += other.limited
+	st.retryAfterViolations += other.retryAfterViolations
+}

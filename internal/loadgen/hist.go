@@ -1,0 +1,123 @@
+// Package loadgen is the measurement core of cmd/hcperf-load: an
+// HDR-style latency histogram, a closed/open-loop HTTP load runner for the
+// hcperf-serve API, a /metrics scraper that turns two Prometheus snapshots
+// into server-side deltas (runs/sec, cache-hit ratio, shed ratio, breaker
+// opens), and a threshold checker mirroring internal/perf's
+// baseline/compare discipline so CI can gate on sustained throughput and
+// tail latency without external tooling.
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram geometry: values are recorded in microseconds, exact up to
+// 31µs, then bucketed into 32 linear sub-buckets per power-of-two octave.
+// The relative width of one bucket is 1/32 ≈ 3.1%, the classic HDR
+// trade-off: quantiles are never more than ~3% off, and the whole range
+// from 1µs to ~9 hours fits in a fixed 1952-slot array with no allocation
+// on the record path.
+const (
+	subBits  = 5
+	subCount = 1 << subBits // 32 linear sub-buckets per octave
+	// histSlots covers every possible 64-bit microsecond value: the first
+	// octave holds subCount exact slots, each further octave adds subCount.
+	histSlots = subCount + (64-subBits)*subCount
+)
+
+// Hist is a fixed-size HDR-style latency histogram. It is NOT
+// goroutine-safe: each load worker owns one and the results are combined
+// with Merge after the workers join, so the record path is a single array
+// increment with no synchronization.
+type Hist struct {
+	counts [histSlots]uint64
+	n      uint64
+	sum    uint64 // µs, for the mean
+	max    uint64 // µs, exact (bucket midpoints would understate it)
+}
+
+// bucketIndex maps a microsecond value to its histogram slot.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	// Shift v so its top subBits+1 bits remain: v>>e is in [32, 64), and
+	// each octave e contributes subCount slots past the linear region.
+	e := bits.Len64(v) - subBits - 1
+	return (e+1)*subCount + int(v>>uint(e)) - subCount
+}
+
+// bucketMid returns the midpoint (µs) of slot idx — the value quantile
+// lookups report for samples landing in that bucket.
+func bucketMid(idx int) uint64 {
+	if idx < subCount {
+		return uint64(idx)
+	}
+	e := idx/subCount - 1
+	lo := uint64(idx%subCount+subCount) << uint(e)
+	return lo + uint64(1)<<uint(e)/2
+}
+
+// Record adds one latency sample.
+func (h *Hist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	h.counts[bucketIndex(us)]++
+	h.n++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Merge folds other's samples into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count is the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Mean is the average sample.
+func (h *Hist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum/h.n) * time.Microsecond
+}
+
+// Max is the largest sample, exact (not bucketed).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) * time.Microsecond }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the midpoint of the
+// bucket holding the ceil(q·n)-th sample, accurate to the ~3% bucket
+// width. Zero samples yield zero.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if cum += c; cum >= rank {
+			return time.Duration(bucketMid(i)) * time.Microsecond
+		}
+	}
+	return h.Max() // unreachable: cum reaches n
+}

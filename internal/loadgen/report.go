@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Latency is the client-side distribution over the measurement window, in
+// milliseconds (the natural unit for HTTP serving latencies; the JSON keys
+// say so explicitly).
+type Latency struct {
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	P999MS  float64 `json:"p999_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	Samples uint64  `json:"samples"`
+}
+
+// Report is one load run's deterministic-JSON result: fixed field order,
+// no wall-clock timestamps, status codes in a map (Go marshals map keys
+// sorted), so two identical runs against an idle server diff cleanly —
+// the same discipline as internal/perf's BENCH baselines.
+type Report struct {
+	// Target restates the offered load so the report documents its own
+	// measurement conditions: rps 0 means closed loop.
+	Target struct {
+		RPS         float64 `json:"rps"`
+		Concurrency int     `json:"concurrency"`
+		DurationSec float64 `json:"duration_sec"`
+		WarmupSec   float64 `json:"warmup_sec"`
+	} `json:"target"`
+	// Requests is the measured-window request count; AchievedRPS is
+	// successful (2xx) requests per second of the window.
+	Requests    uint64  `json:"requests"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// StatusCodes counts final response codes ("202": cache miss queued,
+	// "200": served from cache, "429": shed or rate-limited...).
+	StatusCodes map[string]uint64 `json:"status_codes"`
+	// TransportErrors are requests that never got a status line;
+	// ErrorRatio is (transport errors + 5xx) over requests.
+	TransportErrors uint64  `json:"transport_errors"`
+	ErrorRatio      float64 `json:"error_ratio"`
+	// Limited counts 429 responses; RetryAfterViolations counts 429s whose
+	// Retry-After header was missing, unparseable or < 1s.
+	Limited              uint64 `json:"limited"`
+	RetryAfterViolations uint64 `json:"retry_after_violations"`
+	// Latency is measured from the scheduled send time in open loop
+	// (coordinated-omission aware) and from the actual send in closed
+	// loop.
+	Latency Latency `json:"latency"`
+	// Server is the /metrics delta over the window; nil when the scrape
+	// failed.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// buildReport assembles the report from the merged worker stats.
+func buildReport(cfg Config, agg *workerStats) *Report {
+	r := &Report{Requests: agg.sent, StatusCodes: make(map[string]uint64, len(agg.codes))}
+	r.Target.RPS = cfg.RPS
+	r.Target.Concurrency = cfg.Concurrency
+	r.Target.DurationSec = cfg.Duration.Seconds()
+	r.Target.WarmupSec = cfg.Warmup.Seconds()
+	for code, n := range agg.codes {
+		r.StatusCodes[fmt.Sprint(code)] = n
+	}
+	if s := cfg.Duration.Seconds(); s > 0 {
+		r.AchievedRPS = float64(agg.ok) / s
+	}
+	r.TransportErrors = agg.transportErrs
+	if agg.sent > 0 {
+		errs := agg.transportErrs
+		for code, n := range agg.codes {
+			if code >= 500 {
+				errs += n
+			}
+		}
+		r.ErrorRatio = float64(errs) / float64(agg.sent)
+	}
+	r.Limited = agg.limited
+	r.RetryAfterViolations = agg.retryAfterViolations
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	r.Latency = Latency{
+		P50MS:   ms(agg.hist.Quantile(0.50)),
+		P95MS:   ms(agg.hist.Quantile(0.95)),
+		P99MS:   ms(agg.hist.Quantile(0.99)),
+		P999MS:  ms(agg.hist.Quantile(0.999)),
+		MeanMS:  ms(agg.hist.Mean()),
+		MaxMS:   ms(agg.hist.Max()),
+		Samples: agg.hist.Count(),
+	}
+	return r
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path, creating parent directories.
+func (r *Report) WriteFile(path string) error {
+	if dir := dirOf(path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func dirOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return path[:i]
+	}
+	return ""
+}
+
+// String renders the human summary hcperf-load prints.
+func (r *Report) String() string {
+	var sb strings.Builder
+	loop := "closed"
+	if r.Target.RPS > 0 {
+		loop = fmt.Sprintf("open @ %g rps", r.Target.RPS)
+	}
+	fmt.Fprintf(&sb, "loop        %s (%d workers, %gs measured after %gs warmup)\n",
+		loop, r.Target.Concurrency, r.Target.DurationSec, r.Target.WarmupSec)
+	fmt.Fprintf(&sb, "requests    %d (%.1f ok/s)\n", r.Requests, r.AchievedRPS)
+	codes := make([]string, 0, len(r.StatusCodes))
+	for c := range r.StatusCodes {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&sb, "  status %s  %d\n", c, r.StatusCodes[c])
+	}
+	if r.TransportErrors > 0 {
+		fmt.Fprintf(&sb, "  transport errors %d\n", r.TransportErrors)
+	}
+	fmt.Fprintf(&sb, "latency     p50 %.2fms  p95 %.2fms  p99 %.2fms  p999 %.2fms  max %.2fms\n",
+		r.Latency.P50MS, r.Latency.P95MS, r.Latency.P99MS, r.Latency.P999MS, r.Latency.MaxMS)
+	if r.Limited > 0 || r.RetryAfterViolations > 0 {
+		fmt.Fprintf(&sb, "limited     %d (retry-after violations %d)\n", r.Limited, r.RetryAfterViolations)
+	}
+	if s := r.Server; s != nil {
+		fmt.Fprintf(&sb, "server      %.1f runs/s  cache-hit %.1f%%  shed %.1f%%  rate-limited %g  breaker-opens %g\n",
+			s.RunsPerSec, 100*s.CacheHitRatio, 100*s.ShedRatio, s.RateLimited, s.BreakerOpens)
+	}
+	return sb.String()
+}

@@ -1,0 +1,312 @@
+package policy
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker is open
+// (or while a half-open probe is already in flight). Callers fail fast —
+// the guarded stage is not attempted.
+var ErrBreakerOpen = errors.New("policy: circuit breaker open")
+
+// BreakerState is the breaker's position. The numeric values are the
+// hcperf_breaker_state gauge: severity-ordered so alerts can threshold on
+// "> 0".
+type BreakerState int32
+
+const (
+	// BreakerClosed: traffic flows; outcomes are recorded in the window.
+	BreakerClosed BreakerState = 0
+	// BreakerHalfOpen: cooldown expired; exactly one probe request may
+	// test the stage while everything else still fails fast.
+	BreakerHalfOpen BreakerState = 1
+	// BreakerOpen: the error rate tripped; everything fails fast until
+	// the cooldown expires.
+	BreakerOpen BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "invalid"
+}
+
+// Outcome classifies one guarded execution for the breaker's window.
+type Outcome int
+
+const (
+	// OutcomeSuccess: the execution completed normally.
+	OutcomeSuccess Outcome = iota
+	// OutcomeFailure: the execution failed in a way the breaker should
+	// count against the stage.
+	OutcomeFailure
+	// OutcomeIgnored: the execution ended for reasons that say nothing
+	// about the stage's health (shutdown cancellation); it is not
+	// counted, but still releases a half-open probe slot.
+	OutcomeIgnored
+)
+
+// BreakerConfig sizes a circuit breaker.
+type BreakerConfig struct {
+	// Window is the sliding error-rate window length (default 10s).
+	Window time.Duration
+	// Buckets is the window's granularity: the window is a ring of this
+	// many equal sub-intervals, so an outcome ages out at most one
+	// bucket-width late (default 10).
+	Buckets int
+	// ErrorRate is the failure fraction over the window at which the
+	// breaker trips, in (0, 1] (default 0.5).
+	ErrorRate float64
+	// MinRequests is the minimum number of counted outcomes in the
+	// window before the rate can trip — a single early failure must not
+	// open the breaker (default 20).
+	MinRequests int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Clock injects time (default time.Now).
+	Clock Clock
+}
+
+// withDefaults fills zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets < 1 {
+		c.Buckets = 10
+	}
+	if c.ErrorRate <= 0 || c.ErrorRate > 1 {
+		c.ErrorRate = 0.5
+	}
+	if c.MinRequests < 1 {
+		c.MinRequests = 20
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// winBucket is one sub-interval of the sliding window, tagged with the
+// absolute bucket index it currently holds counts for (so stale entries
+// are detected by tag mismatch instead of eager ticking).
+type winBucket struct {
+	idx        int64
+	succ, fail uint64
+}
+
+// Breaker is a three-state circuit breaker: closed → open when the
+// failure fraction over a sliding window crosses ErrorRate (with at least
+// MinRequests outcomes counted), open → half-open after Cooldown, and
+// half-open → closed on a successful probe or back to open on a failed
+// one. While half-open, exactly one probe is admitted at a time
+// (single-flight); every other caller fails fast, so a recovering
+// backend is never stampeded.
+type Breaker struct {
+	cfg         BreakerConfig
+	bucketWidth time.Duration
+
+	opens         atomic.Uint64
+	shortCircuits atomic.Uint64
+
+	mu       sync.Mutex
+	state    BreakerState
+	buckets  []winBucket
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker from cfg, applying defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:         cfg,
+		bucketWidth: cfg.Window / time.Duration(cfg.Buckets),
+		buckets:     make([]winBucket, cfg.Buckets),
+	}
+}
+
+// State reports the breaker's current position, advancing open →
+// half-open if the cooldown has expired (so a scrape never reports a
+// stale "open" past its cooldown).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked(b.cfg.Clock())
+	return b.state
+}
+
+// Opens counts closed/half-open → open transitions; ShortCircuits counts
+// Allow calls denied with ErrBreakerOpen. Both feed the
+// hcperf_breaker_* metrics.
+func (b *Breaker) Opens() uint64         { return b.opens.Load() }
+func (b *Breaker) ShortCircuits() uint64 { return b.shortCircuits.Load() }
+
+// Allow asks to run one guarded execution. On admission it returns a
+// completion callback the caller MUST invoke exactly once with the
+// execution's outcome; on denial it returns ErrBreakerOpen and the caller
+// fails fast. The callback is safe to call from any goroutine.
+func (b *Breaker) Allow() (done func(Outcome), err error) {
+	now := b.cfg.Clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked(now)
+
+	switch b.state {
+	case BreakerOpen:
+		b.shortCircuits.Add(1)
+		return nil, ErrBreakerOpen
+	case BreakerHalfOpen:
+		if b.probing {
+			// Single-flight: the probe slot is taken.
+			b.shortCircuits.Add(1)
+			return nil, ErrBreakerOpen
+		}
+		b.probing = true
+		return b.completion(true), nil
+	default: // closed
+		return b.completion(false), nil
+	}
+}
+
+// completion builds the once-only callback Allow hands out. probe marks a
+// half-open probe, whose outcome decides the state transition; a closed-
+// state completion just records into the window and checks the trip
+// condition.
+func (b *Breaker) completion(probe bool) func(Outcome) {
+	var once sync.Once
+	return func(o Outcome) {
+		once.Do(func() {
+			now := b.cfg.Clock()
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			if probe {
+				b.probing = false
+				switch o {
+				case OutcomeSuccess:
+					// The stage recovered: close and forget the window —
+					// pre-outage failures must not immediately re-trip.
+					b.state = BreakerClosed
+					b.resetWindowLocked()
+				case OutcomeFailure:
+					b.openLocked(now)
+				case OutcomeIgnored:
+					// Says nothing about health; stay half-open and let
+					// the next caller probe.
+				}
+				return
+			}
+			if b.state != BreakerClosed {
+				// A pre-trip execution finishing after the breaker opened:
+				// its outcome already lost the argument.
+				return
+			}
+			b.recordLocked(now, o)
+			if o == OutcomeFailure {
+				b.maybeTripLocked(now)
+			}
+		})
+	}
+}
+
+// maybeHalfOpenLocked advances open → half-open once the cooldown expires.
+func (b *Breaker) maybeHalfOpenLocked(now time.Time) {
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// openLocked trips the breaker at now.
+func (b *Breaker) openLocked(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.probing = false
+	b.opens.Add(1)
+}
+
+// bucketFor returns the ring slot for now, zeroing it if it still holds a
+// stale interval's counts.
+func (b *Breaker) bucketFor(now time.Time) *winBucket {
+	idx := now.UnixNano() / int64(b.bucketWidth)
+	w := &b.buckets[int(idx%int64(len(b.buckets)))]
+	if w.idx != idx {
+		*w = winBucket{idx: idx}
+	}
+	return w
+}
+
+// recordLocked counts one outcome into the current window bucket.
+func (b *Breaker) recordLocked(now time.Time, o Outcome) {
+	w := b.bucketFor(now)
+	switch o {
+	case OutcomeSuccess:
+		w.succ++
+	case OutcomeFailure:
+		w.fail++
+	}
+}
+
+// windowLocked sums the live (non-aged-out) buckets.
+func (b *Breaker) windowLocked(now time.Time) (succ, fail uint64) {
+	idx := now.UnixNano() / int64(b.bucketWidth)
+	oldest := idx - int64(len(b.buckets)) + 1
+	for i := range b.buckets {
+		if w := &b.buckets[i]; w.idx >= oldest && w.idx <= idx {
+			succ += w.succ
+			fail += w.fail
+		}
+	}
+	return succ, fail
+}
+
+// maybeTripLocked opens the breaker if the windowed failure fraction
+// crossed the threshold with enough samples.
+func (b *Breaker) maybeTripLocked(now time.Time) {
+	succ, fail := b.windowLocked(now)
+	total := succ + fail
+	if total < uint64(b.cfg.MinRequests) {
+		return
+	}
+	if float64(fail)/float64(total) >= b.cfg.ErrorRate {
+		b.openLocked(now)
+	}
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.buckets {
+		b.buckets[i] = winBucket{}
+	}
+}
+
+// Observe maps an execution result onto a breaker completion callback:
+// nil is success, context cancellation is ignored (shutdown is not the
+// stage's fault), anything else is a failure. A nil done (breaker
+// disabled or denied) is a no-op, so call sites need no nil checks.
+func Observe(done func(Outcome), err error) {
+	if done == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		done(OutcomeSuccess)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		done(OutcomeIgnored)
+	default:
+		done(OutcomeFailure)
+	}
+}

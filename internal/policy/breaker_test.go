@@ -1,0 +1,264 @@
+package policy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// breakerForTest returns a breaker with a small, exactly-known geometry:
+// 10s window in 10 buckets, trips at 50% failures over >= 4 samples,
+// 5s cooldown.
+func breakerForTest(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:      10 * time.Second,
+		Buckets:     10,
+		ErrorRate:   0.5,
+		MinRequests: 4,
+		Cooldown:    5 * time.Second,
+		Clock:       clk.Now,
+	})
+}
+
+// mustAllow asserts admission and returns the completion callback.
+func mustAllow(t *testing.T, b *Breaker) func(Outcome) {
+	t.Helper()
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow: %v", err)
+	}
+	return done
+}
+
+func TestBreakerTripsOnWindowedErrorRate(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+
+	mustAllow(t, b)(OutcomeSuccess)
+	mustAllow(t, b)(OutcomeSuccess)
+	mustAllow(t, b)(OutcomeFailure)
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinRequests samples")
+	}
+	// 4th sample: 2 failures / 4 total = 50% >= threshold.
+	mustAllow(t, b)(OutcomeFailure)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open at 50%% over 4 samples", got)
+	}
+	if got := b.Opens(); got != 1 {
+		t.Errorf("Opens() = %d, want 1", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("Allow while open: err = %v, want ErrBreakerOpen", err)
+	}
+	if got := b.ShortCircuits(); got != 1 {
+		t.Errorf("ShortCircuits() = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessesHoldItClosed(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+	// 49% failures over plenty of samples: stays closed.
+	for i := 0; i < 51; i++ {
+		mustAllow(t, b)(OutcomeSuccess)
+	}
+	for i := 0; i < 49; i++ {
+		mustAllow(t, b)(OutcomeFailure)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed at 49%% failures", got)
+	}
+}
+
+func TestBreakerWindowAgesOutOldFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+	// Three failures: below MinRequests, breaker stays closed.
+	for i := 0; i < 3; i++ {
+		mustAllow(t, b)(OutcomeFailure)
+	}
+	// A full window later those failures have aged out, so fresh traffic
+	// at a 20% failure rate must not trip (it would be 4/8 = 50% if the
+	// stale failures still counted).
+	clk.Advance(11 * time.Second)
+	mustAllow(t, b)(OutcomeFailure)
+	for i := 0; i < 4; i++ {
+		mustAllow(t, b)(OutcomeSuccess)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (old failures must age out)", got)
+	}
+}
+
+func trip(t *testing.T, clk *fakeClock, b *Breaker) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		mustAllow(t, b)(OutcomeFailure)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("setup: breaker did not trip")
+	}
+}
+
+func TestBreakerHalfOpenSingleFlightProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+	trip(t, clk, b)
+
+	// Before the cooldown: still open.
+	clk.Advance(4 * time.Second)
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow 1s before cooldown expiry: err = %v, want ErrBreakerOpen", err)
+	}
+
+	// Cooldown expired: exactly one probe is admitted.
+	clk.Advance(time.Second)
+	probe := mustAllow(t, b)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second Allow during probe: err = %v, want ErrBreakerOpen (single-flight)", err)
+	}
+
+	// Probe succeeds: closed, and the pre-outage window is forgotten — a
+	// single new failure must not re-trip instantly.
+	probe(OutcomeSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	mustAllow(t, b)(OutcomeFailure)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v; the probe success must reset the window", got)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+	trip(t, clk, b)
+
+	clk.Advance(5 * time.Second)
+	probe := mustAllow(t, b)
+	probe(OutcomeFailure)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if got := b.Opens(); got != 2 {
+		t.Errorf("Opens() = %d, want 2 (initial trip + failed probe)", got)
+	}
+	// The cooldown restarts from the failed probe.
+	clk.Advance(4 * time.Second)
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Error("probe admitted before the restarted cooldown expired")
+	}
+	clk.Advance(time.Second)
+	mustAllow(t, b)(OutcomeSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed after recovery", got)
+	}
+}
+
+func TestBreakerIgnoredProbeReleasesSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+	trip(t, clk, b)
+
+	clk.Advance(5 * time.Second)
+	probe := mustAllow(t, b)
+	// A cancelled probe says nothing about health: stay half-open, and
+	// the next caller gets the probe slot.
+	probe(OutcomeIgnored)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after ignored probe = %v, want half-open", got)
+	}
+	probe2 := mustAllow(t, b)
+	probe2(OutcomeSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerLateCompletionAfterTripIsInert(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+	inflight := mustAllow(t, b)
+	trip(t, clk, b)
+	// An execution admitted before the trip finishes afterwards: its
+	// outcome must neither close the breaker nor corrupt the window.
+	inflight(OutcomeSuccess)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open (late completion is inert)", got)
+	}
+}
+
+func TestBreakerCompletionIsIdempotent(t *testing.T) {
+	clk := newFakeClock()
+	b := breakerForTest(clk)
+	done := mustAllow(t, b)
+	done(OutcomeFailure)
+	done(OutcomeFailure) // second call must not double-count
+	mustAllow(t, b)(OutcomeSuccess)
+	mustAllow(t, b)(OutcomeFailure)
+	// Counted honestly that is F, S, F — 3 samples, below MinRequests of
+	// 4, so the breaker must stay closed. A double-counting breaker would
+	// see F, F, S, F = 75% over 4 samples and trip.
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (completion must be once-only)", got)
+	}
+	if got := b.Opens(); got != 0 {
+		t.Errorf("Opens() = %d, want 0", got)
+	}
+}
+
+func TestObserveClassification(t *testing.T) {
+	var got []Outcome
+	rec := func(o Outcome) { got = append(got, o) }
+	Observe(nil, nil) // nil done: no-op, no panic
+	Observe(rec, nil)
+	Observe(rec, context.Canceled)
+	Observe(rec, fmt.Errorf("wrapped: %w", context.DeadlineExceeded))
+	Observe(rec, errors.New("boom"))
+	want := []Outcome{OutcomeSuccess, OutcomeIgnored, OutcomeIgnored, OutcomeFailure}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d outcomes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("outcome %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBreakerConcurrentTraffic(t *testing.T) {
+	b := NewBreaker(BreakerConfig{MinRequests: 10_000_000}) // never trips
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 200
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				done, err := b.Allow()
+				if err != nil {
+					t.Errorf("Allow: %v", err)
+					return
+				}
+				if (g+i)%3 == 0 {
+					done(OutcomeFailure)
+				} else {
+					done(OutcomeSuccess)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.State(); got != BreakerClosed {
+		t.Errorf("state = %v, want closed (MinRequests unreachable)", got)
+	}
+}

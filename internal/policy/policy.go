@@ -1,0 +1,22 @@
+// Package policy is the service's composable resilience layer: a
+// per-client token-bucket rate limiter (Limiter), a three-state circuit
+// breaker over a sliding error-rate window (Breaker), and a
+// retry-with-budget helper (Do + Budget) whose global budget caps retry
+// amplification at a fixed fraction of fresh load.
+//
+// The three primitives are deliberately independent of the serving layer:
+// they know nothing about HTTP, jobs or the run pipeline. The serving
+// layer keys the limiter by API token (falling back to remote address),
+// wraps the execute stage of the run pipeline in the breaker, and the
+// load generator's client routes transient transport failures through the
+// budgeted retry helper. Every time-dependent decision — bucket refill,
+// window advance, cooldown expiry — goes through an injectable Clock so
+// tests pin the exact math against a fake clock.
+package policy
+
+import "time"
+
+// Clock abstracts time for the policy primitives so tests can drive
+// refill, window and cooldown math deterministically. A nil Clock in any
+// config means time.Now.
+type Clock func() time.Time

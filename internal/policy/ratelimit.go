@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LimiterConfig sizes a per-key token-bucket rate limiter.
+type LimiterConfig struct {
+	// Rate is the sustained request rate per key in tokens/second
+	// (required > 0).
+	Rate float64
+	// Burst is the bucket capacity — the largest instantaneous burst one
+	// key may spend (default max(Rate, 1)).
+	Burst float64
+	// MaxKeys caps the number of tracked keys; the least recently seen
+	// key is evicted past the cap, which resets its bucket to full. Size
+	// it above the live client count (default 4096).
+	MaxKeys int
+	// Clock injects time (default time.Now).
+	Clock Clock
+}
+
+// Limiter is a per-key token-bucket rate limiter: each key owns an
+// independent bucket of Burst tokens refilled continuously at Rate
+// tokens/second, and one request spends one token. Buckets are created
+// full on first sight of a key, so a new client gets its burst allowance
+// immediately. All decisions for one key are serialized under the
+// limiter's mutex; the arithmetic is pure refill math over the injected
+// clock, so a denied Decision carries the honest time until the next
+// token — the value the serving layer returns as Retry-After.
+type Limiter struct {
+	rate    float64
+	burst   float64
+	maxKeys int
+	clock   Clock
+
+	allowed atomic.Uint64
+	limited atomic.Uint64
+
+	mu    sync.Mutex
+	keys  map[string]*bucket
+	order *list.List // front = most recently used key
+}
+
+// bucket is one key's token bucket; order is its recency-list element.
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+	elem   *list.Element
+}
+
+// Decision is the outcome of one Allow call, carrying everything the
+// serving layer needs for the X-RateLimit-* and Retry-After headers.
+type Decision struct {
+	// Allowed reports whether the request may proceed.
+	Allowed bool
+	// Limit is the sustained per-second rate and Burst the bucket
+	// capacity (constant across keys).
+	Limit, Burst float64
+	// Remaining is the number of whole tokens left in the key's bucket
+	// after this decision.
+	Remaining int
+	// RetryAfter is the exact time until the bucket refills to one token
+	// (zero when Allowed): the honest earliest instant at which an
+	// identical request could succeed.
+	RetryAfter time.Duration
+	// Reset is the time until the bucket is completely full again.
+	Reset time.Duration
+}
+
+// NewLimiter builds a limiter from cfg, applying defaults.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Rate <= 0 {
+		panic("policy: limiter rate must be > 0")
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.Rate, 1)
+	}
+	if cfg.MaxKeys < 1 {
+		cfg.MaxKeys = 4096
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Limiter{
+		rate:    cfg.Rate,
+		burst:   cfg.Burst,
+		maxKeys: cfg.MaxKeys,
+		clock:   cfg.Clock,
+		keys:    make(map[string]*bucket),
+		order:   list.New(),
+	}
+}
+
+// Allow spends one token from key's bucket if available and reports the
+// decision.
+func (l *Limiter) Allow(key string) Decision {
+	now := l.clock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	b, ok := l.keys[key]
+	if !ok {
+		b = &bucket{key: key, tokens: l.burst, last: now}
+		b.elem = l.order.PushFront(b)
+		l.keys[key] = b
+		if l.order.Len() > l.maxKeys {
+			victim := l.order.Back().Value.(*bucket)
+			l.order.Remove(victim.elem)
+			delete(l.keys, victim.key)
+		}
+	} else {
+		// Continuous refill: elapsed wall time converts to tokens, capped
+		// at the burst size.
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+		l.order.MoveToFront(b.elem)
+	}
+
+	d := Decision{Limit: l.rate, Burst: l.burst}
+	if b.tokens >= 1 {
+		b.tokens--
+		d.Allowed = true
+		l.allowed.Add(1)
+	} else {
+		d.RetryAfter = time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		l.limited.Add(1)
+	}
+	d.Remaining = int(b.tokens)
+	d.Reset = time.Duration((l.burst - b.tokens) / l.rate * float64(time.Second))
+	return d
+}
+
+// Allowed and Limited are lifetime decision counters; Keys is the number
+// of currently tracked keys. All three feed the hcperf_ratelimit_*
+// metrics.
+func (l *Limiter) Allowed() uint64 { return l.allowed.Load() }
+func (l *Limiter) Limited() uint64 { return l.limited.Load() }
+func (l *Limiter) Keys() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.keys)
+}
+
+// RetryAfterSeconds renders a RetryAfter duration as the integral-seconds
+// value of an HTTP Retry-After header: rounded up (the header has 1 s
+// granularity and must never promise an earlier instant than the refill
+// math allows), minimum 1.
+func RetryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced Clock shared by the policy tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// within asserts d is within tol of want (float refill math may be off by
+// sub-microsecond rounding).
+func within(t *testing.T, what string, d, want, tol time.Duration) {
+	t.Helper()
+	if diff := d - want; diff < -tol || diff > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, d, want, tol)
+	}
+}
+
+func TestTokenBucketRefillMath(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 2, Burst: 4, Clock: clk.Now})
+
+	// The full burst is available immediately, then the bucket is dry.
+	for i := 0; i < 4; i++ {
+		d := l.Allow("k")
+		if !d.Allowed {
+			t.Fatalf("request %d denied; want burst of 4 allowed", i)
+		}
+		if d.Remaining != 3-i {
+			t.Errorf("request %d: remaining = %d, want %d", i, d.Remaining, 3-i)
+		}
+	}
+	d := l.Allow("k")
+	if d.Allowed {
+		t.Fatal("5th request allowed on an empty bucket")
+	}
+	// One token refills in 1/rate = 500ms; the bucket refills fully in
+	// burst/rate = 2s. Both are exact refill math, not guesses.
+	within(t, "RetryAfter", d.RetryAfter, 500*time.Millisecond, time.Microsecond)
+	within(t, "Reset", d.Reset, 2*time.Second, time.Microsecond)
+
+	// 499ms later the bucket still lacks a whole token...
+	clk.Advance(499 * time.Millisecond)
+	d = l.Allow("k")
+	if d.Allowed {
+		t.Fatal("allowed 1ms before the refill instant")
+	}
+	within(t, "RetryAfter", d.RetryAfter, time.Millisecond, time.Microsecond)
+	// ...and 1ms after that, exactly one request fits.
+	clk.Advance(time.Millisecond)
+	if d = l.Allow("k"); !d.Allowed {
+		t.Fatal("denied at the promised refill instant")
+	}
+	if d = l.Allow("k"); d.Allowed {
+		t.Fatal("second request allowed after a single-token refill")
+	}
+
+	if got, want := l.Allowed(), uint64(5); got != want {
+		t.Errorf("Allowed() = %d, want %d", got, want)
+	}
+	if got, want := l.Limited(), uint64(3); got != want {
+		t.Errorf("Limited() = %d, want %d", got, want)
+	}
+}
+
+func TestBurstCapsRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 10, Burst: 3, Clock: clk.Now})
+	l.Allow("k") // bucket now 2
+	clk.Advance(time.Hour)
+	// An idle hour banks only up to the burst, never more.
+	for i := 0; i < 3; i++ {
+		if !l.Allow("k").Allowed {
+			t.Fatalf("request %d denied after long idle; want full burst", i)
+		}
+	}
+	if l.Allow("k").Allowed {
+		t.Error("4th request allowed; refill must cap at burst")
+	}
+}
+
+func TestKeyIsolation(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, Clock: clk.Now})
+	if !l.Allow("a").Allowed {
+		t.Fatal("a's first request denied")
+	}
+	if l.Allow("a").Allowed {
+		t.Fatal("a's second request allowed on an empty bucket")
+	}
+	// b's bucket is untouched by a's exhaustion.
+	if !l.Allow("b").Allowed {
+		t.Error("b denied; keys must have independent buckets")
+	}
+	if got := l.Keys(); got != 2 {
+		t.Errorf("Keys() = %d, want 2", got)
+	}
+}
+
+func TestMaxKeysEvictsLeastRecentlySeen(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, MaxKeys: 2, Clock: clk.Now})
+	l.Allow("a") // a's bucket is now empty
+	l.Allow("b")
+	l.Allow("c") // evicts a (least recently seen)
+	if got := l.Keys(); got != 2 {
+		t.Fatalf("Keys() = %d, want 2 (MaxKeys)", got)
+	}
+	// a returns with a fresh (full) bucket: eviction forgot its debt.
+	if !l.Allow("a").Allowed {
+		t.Error("evicted key did not get a fresh bucket")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},                       // never promise "now"
+		{time.Millisecond, 1},        // sub-second rounds up
+		{time.Second, 1},             // exact
+		{1001 * time.Millisecond, 2}, // ceil, never floor
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestLimiterConcurrentCounts(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 50})
+	const goroutines, each = 8, 25
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Allow("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Allowed() + l.Limited(); got != goroutines*each {
+		t.Errorf("allowed+limited = %d, want %d", got, goroutines*each)
+	}
+	// The burst bound holds under concurrency: at rate 1/s essentially no
+	// refill happens during the test, so at most burst+1 tokens were ever
+	// spendable.
+	if got := l.Allowed(); got > 51 {
+		t.Errorf("allowed = %d; burst of 50 must bound concurrent spend", got)
+	}
+}

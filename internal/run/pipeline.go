@@ -3,6 +3,7 @@ package run
 import (
 	"context"
 
+	"hcperf/internal/policy"
 	"hcperf/internal/store"
 )
 
@@ -55,6 +56,11 @@ type Pipeline struct {
 	Metrics *store.Metrics
 	// Exec computes a result on a full miss; nil means Execute.
 	Exec Func
+	// Breaker, when non-nil, guards the execute stage only: cache and disk
+	// hits always flow (serving stored bytes cannot hurt a sick runner),
+	// while fresh executions are short-circuited with ErrBreakerOpen when
+	// the breaker is open and their outcomes feed its error-rate window.
+	Breaker *policy.Breaker
 }
 
 // Run takes a raw request through the full pipeline and reports which tier
@@ -85,7 +91,15 @@ func (p *Pipeline) Run(ctx context.Context, req Request) (*Result, store.Tier, s
 	if exec == nil {
 		exec = Execute
 	}
+	var breakerDone func(policy.Outcome)
+	if p.Breaker != nil {
+		var berr error
+		if breakerDone, berr = p.Breaker.Allow(); berr != nil {
+			return nil, store.TierMiss, digest, berr
+		}
+	}
 	res, err := exec(ctx, req)
+	policy.Observe(breakerDone, err)
 	if err != nil {
 		return nil, store.TierMiss, digest, err
 	}

@@ -3,7 +3,9 @@
 // runner.Map, a tiered content-addressed result store (in-memory LRU over
 // an optional disk store, internal/store) with singleflight-style
 // deduplication of identical submissions, a batch sweep endpoint that fans
-// a spec template across a parameter grid, load shedding with 429 +
+// a spec template across a parameter grid, a resilience layer
+// (internal/policy: per-client rate limiting with honest Retry-After and a
+// circuit breaker guarding the execute stage), load shedding with 429 +
 // Retry-After under overload, live Prometheus metrics, and a
 // deadline-bounded graceful drain mirroring the shutdown discipline of
 // internal/rt. Determinism of the underlying simulations (enforced by the
@@ -15,9 +17,12 @@ package service
 import (
 	"context"
 	"errors"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"hcperf/internal/policy"
 	"hcperf/internal/run"
 	"hcperf/internal/runner"
 	"hcperf/internal/search"
@@ -64,9 +69,9 @@ type Job struct {
 	// Req is the normalized request.
 	Req RunRequest
 
-	// seq is the submission order number, assigned under the manager's
-	// mutex; queue position is the count of still-queued jobs with a
-	// smaller seq.
+	// seq is the submission order number, drawn from the manager's
+	// atomic counter; queue position is the count of still-queued jobs
+	// with a smaller seq.
 	seq uint64
 
 	// source records where the job's result materialized in this process:
@@ -189,9 +194,16 @@ type ManagerConfig struct {
 	// QueueSize bounds the submission queue (default 64); a full queue
 	// sheds load with ErrQueueFull.
 	QueueSize int
-	// CacheSize bounds the completed-run LRU (default 128); evicted
-	// runs re-execute on resubmission.
+	// CacheSize bounds the completed-run LRU (default 128), split across
+	// the shards; evicted runs re-execute on resubmission.
 	CacheSize int
+	// Shards is the number of digest-partitioned shards the job map and
+	// result LRU are split into (default 8). Each shard has its own
+	// mutex, so submissions for different digests never contend; tests
+	// that assert global LRU recency order use Shards: 1. Recency (and
+	// therefore eviction) is tracked per shard: the CacheSize bound is
+	// divided evenly, so the global bound holds to within rounding.
+	Shards int
 	// Run executes one request (default Execute). Tests inject
 	// controllable fakes here.
 	Run RunFunc
@@ -201,25 +213,47 @@ type ManagerConfig struct {
 	// (the default) runs memory-only, exactly the pre-disk-store
 	// behavior.
 	Disk *store.Disk
+	// Breaker, when non-nil, guards the execute stage: jobs reaching a
+	// worker while the breaker is open fail fast (and are forgotten, so
+	// a resubmission re-executes once the stage recovers), and every
+	// execution outcome feeds the breaker's sliding error window.
+	Breaker *policy.Breaker
+}
+
+// shard is one digest partition of the job map: its own mutex, its own
+// slice of the jobs map and its own recency LRU, so the mutex a
+// submission takes depends only on its digest.
+type shard struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job // every known job in this partition
+	cache *store.LRU      // recency order over terminal jobs only
 }
 
 // Manager owns the submission queue, the worker pool, and the
-// content-addressed result cache. All three share one mutex, so the
-// singleflight invariant — at most one live job per digest — holds by
-// construction.
+// content-addressed result cache. The job map and LRU are partitioned
+// into digest-addressed shards; within one shard a single mutex covers
+// map and LRU together, so the singleflight invariant — at most one live
+// job per digest — holds by construction exactly as it did under the
+// former global mutex, while submissions for different digests no longer
+// serialize on one lock.
 type Manager struct {
 	run     RunFunc
 	metrics *Metrics
-	disk    *store.Disk // nil = memory-only
+	disk    *store.Disk     // nil = memory-only
+	breaker *policy.Breaker // nil = unguarded
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*Job // every known job: queued, running, and cached terminal
-	cache    *store.LRU      // recency order over terminal jobs only
-	queue    chan *Job
-	seq      uint64 // submission counter; orders queue positions
+	shards []shard
+	queue  chan *Job
+	seq    atomic.Uint64 // submission counter; orders queue positions
+
+	// lifeMu serializes queue sends against close(queue): submissions
+	// hold it shared around {draining check, queue send}, Shutdown holds
+	// it exclusively around {draining = true, close}. Lock order is
+	// shard.mu → lifeMu; Shutdown takes lifeMu alone.
+	lifeMu   sync.RWMutex
 	draining bool
 
 	wg sync.WaitGroup
@@ -235,6 +269,9 @@ func NewManager(cfg ManagerConfig) *Manager {
 	}
 	if cfg.CacheSize < 1 {
 		cfg.CacheSize = 128
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 8
 	}
 	if cfg.Run == nil {
 		cfg.Run = Execute
@@ -252,11 +289,18 @@ func NewManager(cfg ManagerConfig) *Manager {
 		run:     cfg.Run,
 		metrics: cfg.Metrics,
 		disk:    cfg.Disk,
+		breaker: cfg.Breaker,
 		baseCtx: ctx,
 		cancel:  cancel,
-		jobs:    make(map[string]*Job),
-		cache:   store.NewLRU(cfg.CacheSize),
+		shards:  make([]shard, cfg.Shards),
 		queue:   make(chan *Job, cfg.QueueSize),
+	}
+	// Split the cache bound across shards, rounding up so the configured
+	// capacity is never undershot.
+	perShard := (cfg.CacheSize + cfg.Shards - 1) / cfg.Shards
+	for i := range m.shards {
+		m.shards[i].jobs = make(map[string]*Job)
+		m.shards[i].cache = store.NewLRU(perShard)
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -265,43 +309,67 @@ func NewManager(cfg ManagerConfig) *Manager {
 	return m
 }
 
+// shardFor maps a digest to its partition. Digests are uniform SHA-256
+// hex, but fnv keeps the mapping well-distributed for any test-injected
+// ID shape.
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
 // Metrics exposes the manager's counters for the /metrics handler.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Breaker exposes the execute-stage circuit breaker (nil when disabled)
+// for the /metrics handler.
+func (m *Manager) Breaker() *policy.Breaker { return m.breaker }
 
 // QueueDepth is the number of jobs waiting for a worker.
 func (m *Manager) QueueDepth() int { return len(m.queue) }
 
-// CacheLen is the number of terminal runs retained in the LRU.
+// CacheLen is the number of terminal runs retained across the shard LRUs.
 func (m *Manager) CacheLen() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cache.Len()
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += sh.cache.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Job looks up a run by digest.
 func (m *Manager) Job(id string) (*Job, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
 	return j, ok
 }
 
 // QueuePosition returns how many jobs are ahead of id in the submission
 // queue (0 = next to run), or -1 when the job is unknown or no longer
 // queued. Position is derived from submission order, so it only ever
-// shrinks as the pool drains.
+// shrinks as the pool drains: shards are scanned one at a time, and a job
+// observed as no-longer-queued in a later scan can only lower the count
+// (queued → running is a one-way door).
 func (m *Manager) QueuePosition(id string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
+	j, ok := m.Job(id)
 	if !ok || j.Snapshot().State != StateQueued {
 		return -1
 	}
 	pos := 0
-	for _, other := range m.jobs {
-		if other != j && other.seq < j.seq && other.Snapshot().State == StateQueued {
-			pos++
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, other := range sh.jobs {
+			if other != j && other.seq < j.seq && other.Snapshot().State == StateQueued {
+				pos++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return pos
 }
@@ -313,59 +381,66 @@ func (m *Manager) QueuePosition(id string) int {
 // full (ErrQueueFull) or the manager is draining (ErrDraining).
 func (m *Manager) Submit(req RunRequest) (*Job, SubmitOutcome, error) {
 	id := req.Digest()
-	m.mu.Lock()
-	if j, outcome, hit := m.lookupLocked(id); hit {
-		m.mu.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if j, outcome, hit := m.lookupLocked(sh, id); hit {
+		sh.mu.Unlock()
 		return j, outcome, nil
 	}
 	m.metrics.Store.MemoryMisses.Add(1)
-	m.mu.Unlock()
+	sh.mu.Unlock()
 
-	// Disk tier, outside the mutex: reading an entry is file I/O and must
-	// not stall status polls. Serving a persisted result is not new work,
-	// so it is allowed even while draining.
+	// Disk tier, outside the shard mutex: reading an entry is file I/O
+	// and must not stall status polls. Serving a persisted result is not
+	// new work, so it is allowed even while draining.
 	if res, ok := run.LoadDisk(m.disk, id); ok {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		if j, outcome, hit := m.lookupLocked(id); hit {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if j, outcome, hit := m.lookupLocked(sh, id); hit {
 			// Raced with an identical submission; defer to its job.
 			return j, outcome, nil
 		}
-		return m.installTerminalLocked(id, req, res, store.TierDisk), SubmitCachedDisk, nil
+		return m.installTerminalLocked(sh, id, req, res, store.TierDisk), SubmitCachedDisk, nil
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if j, outcome, hit := m.lookupLocked(id); hit {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if j, outcome, hit := m.lookupLocked(sh, id); hit {
 		// Raced with an identical submission while we checked the disk.
 		return j, outcome, nil
 	}
+	// The queue send happens under lifeMu (shared) so it can never race
+	// Shutdown's close(queue).
+	m.lifeMu.RLock()
 	if m.draining {
+		m.lifeMu.RUnlock()
 		m.metrics.Rejected.Add(1)
 		return nil, 0, ErrDraining
 	}
-	m.seq++
-	j := &Job{ID: id, Req: req, seq: m.seq, state: StateQueued, submitted: time.Now(), done: make(chan struct{})}
+	j := &Job{ID: id, Req: req, seq: m.seq.Add(1), state: StateQueued, submitted: time.Now(), done: make(chan struct{})}
 	select {
 	case m.queue <- j:
 	default:
+		m.lifeMu.RUnlock()
 		m.metrics.Shed.Add(1)
 		return nil, 0, ErrQueueFull
 	}
-	m.jobs[id] = j
+	m.lifeMu.RUnlock()
+	sh.jobs[id] = j
 	m.metrics.Misses.Add(1)
 	return j, SubmitNew, nil
 }
 
 // lookupLocked resolves a digest against the in-memory tier: a terminal
-// job is a memory cache hit, a live one coalesces the submission.
-func (m *Manager) lookupLocked(id string) (*Job, SubmitOutcome, bool) {
-	j, ok := m.jobs[id]
+// job is a memory cache hit, a live one coalesces the submission. The
+// caller holds sh's mutex.
+func (m *Manager) lookupLocked(sh *shard, id string) (*Job, SubmitOutcome, bool) {
+	j, ok := sh.jobs[id]
 	if !ok {
 		return nil, 0, false
 	}
 	if j.Snapshot().State.Terminal() {
-		m.cache.Bump(id)
+		sh.cache.Bump(id)
 		m.metrics.CacheHits.Add(1)
 		m.metrics.Store.MemoryHits.Add(1)
 		return j, SubmitCached, true
@@ -376,19 +451,19 @@ func (m *Manager) lookupLocked(id string) (*Job, SubmitOutcome, bool) {
 
 // installTerminalLocked enters an already-completed result (restored from
 // disk, or computed by a sweep worker) as a terminal job so subsequent
-// GETs and submissions see it as an ordinary cached run.
-func (m *Manager) installTerminalLocked(id string, req RunRequest, res *RunResult, source store.Tier) *Job {
-	m.seq++
+// GETs and submissions see it as an ordinary cached run. The caller holds
+// sh's mutex.
+func (m *Manager) installTerminalLocked(sh *shard, id string, req RunRequest, res *RunResult, source store.Tier) *Job {
 	now := time.Now()
 	j := &Job{
-		ID: id, Req: req, seq: m.seq, source: source,
+		ID: id, Req: req, seq: m.seq.Add(1), source: source,
 		state: StateDone, result: res,
 		submitted: now, started: now, finished: now,
 		done: make(chan struct{}),
 	}
 	close(j.done)
-	m.jobs[id] = j
-	m.addToCacheLocked(id)
+	sh.jobs[id] = j
+	m.addToCacheLocked(sh, id)
 	return j
 }
 
@@ -401,12 +476,13 @@ func (m *Manager) AddCached(req RunRequest, res *RunResult, source store.Tier) *
 		source = store.TierMemory
 	}
 	id := req.Digest()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if j, ok := m.jobs[id]; ok {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if j, ok := sh.jobs[id]; ok {
 		return j
 	}
-	return m.installTerminalLocked(id, req, res, source)
+	return m.installTerminalLocked(sh, id, req, res, source)
 }
 
 // CachedResult resolves a digest against the in-memory tier only: the
@@ -414,9 +490,10 @@ func (m *Manager) AddCached(req RunRequest, res *RunResult, source store.Tier) *
 // a miss. It is the memory-tier Lookup of sweep pipelines; counting is
 // left to the pipeline so submission metrics stay comparable.
 func (m *Manager) CachedResult(id string) (*RunResult, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.jobs[id]
 	if !ok {
 		return nil, false
 	}
@@ -424,18 +501,28 @@ func (m *Manager) CachedResult(id string) (*RunResult, bool) {
 	if snap.State != StateDone || snap.Result == nil {
 		return nil, false
 	}
-	m.cache.Bump(id)
+	sh.cache.Bump(id)
 	return snap.Result, true
 }
 
-// addToCacheLocked enters a terminal digest into the LRU; evicted digests
-// drop out of the job map entirely, so a resubmission re-executes (or
-// restores from disk).
-func (m *Manager) addToCacheLocked(id string) {
-	for _, evicted := range m.cache.Add(id) {
-		delete(m.jobs, evicted)
+// addToCacheLocked enters a terminal digest into the shard's LRU; evicted
+// digests drop out of the job map entirely, so a resubmission re-executes
+// (or restores from disk). The caller holds sh's mutex.
+func (m *Manager) addToCacheLocked(sh *shard, id string) {
+	for _, evicted := range sh.cache.Add(id) {
+		delete(sh.jobs, evicted)
 		m.metrics.Store.MemoryEvictions.Add(1)
 	}
+}
+
+// forget drops a job from its shard without touching the LRU — used for
+// breaker fast-fails, which must leave no cached trace so the identical
+// request re-executes once the stage recovers.
+func (m *Manager) forget(id string) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.jobs, id)
+	sh.mu.Unlock()
 }
 
 // worker drains the queue until it closes. Each job runs through
@@ -451,6 +538,21 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) runJob(j *Job) {
+	// The circuit breaker guards the execute stage only: cached results
+	// and disk restores never pass through here. A fast-failed job is
+	// forgotten (not cached), so clients polling its ID see it vanish and
+	// a resubmission re-executes once the breaker admits traffic again.
+	var breakerDone func(policy.Outcome)
+	if m.breaker != nil {
+		var berr error
+		breakerDone, berr = m.breaker.Allow()
+		if berr != nil {
+			j.finish(StateFailed, nil, berr, time.Now())
+			m.forget(j.ID)
+			return
+		}
+	}
+
 	start := time.Now()
 	j.setRunning(start)
 	m.metrics.InFlight.Add(1)
@@ -468,6 +570,7 @@ func (m *Manager) runJob(j *Job) {
 	results, err := runner.Map(ctx, 1, []RunRequest{j.Req}, m.run)
 	m.metrics.InFlight.Add(-1)
 	elapsed := time.Since(start)
+	policy.Observe(breakerDone, err)
 
 	state := StateDone
 	var res *RunResult
@@ -499,9 +602,10 @@ func (m *Manager) runJob(j *Job) {
 
 	// Enter the terminal job into the LRU; evicted digests drop out of
 	// the job map entirely, so a resubmission re-executes.
-	m.mu.Lock()
-	m.addToCacheLocked(j.ID)
-	m.mu.Unlock()
+	sh := m.shardFor(j.ID)
+	sh.mu.Lock()
+	m.addToCacheLocked(sh, j.ID)
+	sh.mu.Unlock()
 }
 
 // Shutdown stops accepting new runs, lets the workers drain the queue, and
@@ -511,12 +615,12 @@ func (m *Manager) runJob(j *Job) {
 // waiting on any CPU-bound run already in flight (mirroring the bounded
 // Shutdown of internal/rt). Shutdown is idempotent.
 func (m *Manager) Shutdown(ctx context.Context) error {
-	m.mu.Lock()
+	m.lifeMu.Lock()
 	if !m.draining {
 		m.draining = true
 		close(m.queue)
 	}
-	m.mu.Unlock()
+	m.lifeMu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
@@ -535,7 +639,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 
 // Draining reports whether shutdown has begun (used by /healthz).
 func (m *Manager) Draining() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lifeMu.RLock()
+	defer m.lifeMu.RUnlock()
 	return m.draining
 }

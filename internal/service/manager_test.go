@@ -140,7 +140,9 @@ func TestCacheHitServesCompletedRun(t *testing.T) {
 
 func TestLRUEvictionRespectsBound(t *testing.T) {
 	f := newFakeRunner(false)
-	m := NewManager(ManagerConfig{Workers: 1, QueueSize: 8, CacheSize: 2, Run: f.Run})
+	// Shards: 1 — this test asserts global LRU ordering, which only holds
+	// when every digest shares one cache shard.
+	m := NewManager(ManagerConfig{Workers: 1, QueueSize: 8, CacheSize: 2, Shards: 1, Run: f.Run})
 	defer m.Shutdown(context.Background())
 
 	reqs := []RunRequest{expReq(t, 1), expReq(t, 2), expReq(t, 3)}
@@ -178,7 +180,9 @@ func TestLRUEvictionRespectsBound(t *testing.T) {
 
 func TestLRUBumpOnCacheHit(t *testing.T) {
 	f := newFakeRunner(false)
-	m := NewManager(ManagerConfig{Workers: 1, QueueSize: 8, CacheSize: 2, Run: f.Run})
+	// Shards: 1 — this test asserts global LRU ordering, which only holds
+	// when every digest shares one cache shard.
+	m := NewManager(ManagerConfig{Workers: 1, QueueSize: 8, CacheSize: 2, Shards: 1, Run: f.Run})
 	defer m.Shutdown(context.Background())
 
 	a, b, c := expReq(t, 1), expReq(t, 2), expReq(t, 3)

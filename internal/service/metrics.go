@@ -113,10 +113,33 @@ func (m *Metrics) ObserveOptimize(p, prev search.Progress) {
 	m.mu.Unlock()
 }
 
+// LiveStats carries the point-in-time gauge values WritePrometheus cannot
+// read from its own counters: queue depth and cache size come from the
+// manager, and the rate-limiter / circuit-breaker readings come from the
+// policy layer (which lives outside Metrics so the handlers stay the only
+// code that knows both halves). Zero-valued policy fields with HasLimiter /
+// HasBreaker false simply omit those metric families, keeping the
+// exposition identical to older deployments that run without a policy
+// layer.
+type LiveStats struct {
+	QueueDepth, CacheLen int
+
+	// HasLimiter gates the hcperf_ratelimit_* family.
+	HasLimiter                         bool
+	RatelimitAllowed, RatelimitLimited uint64
+	RatelimitKeys                      int
+
+	// HasBreaker gates the hcperf_breaker_* family. BreakerState uses the
+	// policy.BreakerState encoding: 0 closed, 1 half-open, 2 open.
+	HasBreaker                         bool
+	BreakerState                       int
+	BreakerOpens, BreakerShortCircuits uint64
+}
+
 // WritePrometheus renders every metric in Prometheus text exposition
-// format. queueDepth and cacheLen are read live from the manager so the
-// gauges cannot go stale.
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) error {
+// format. live is read from the manager and policy layer at scrape time so
+// the gauges cannot go stale.
+func (m *Metrics) WritePrometheus(w io.Writer, live LiveStats) error {
 	var b []byte
 	add := func(format string, args ...any) {
 		b = append(b, fmt.Sprintf(format, args...)...)
@@ -128,9 +151,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) error {
 		add("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 
-	gauge("hcperf_queue_depth", "Jobs waiting in the submission queue.", queueDepth)
+	gauge("hcperf_queue_depth", "Jobs waiting in the submission queue.", live.QueueDepth)
 	gauge("hcperf_inflight_runs", "Executions currently running.", m.InFlight.Load())
-	gauge("hcperf_cache_entries", "Completed runs held in the LRU result cache.", cacheLen)
+	gauge("hcperf_cache_entries", "Completed runs held in the LRU result cache.", live.CacheLen)
+	if live.HasLimiter {
+		counter("hcperf_ratelimit_allowed_total", "Requests admitted by the per-client rate limiter.", live.RatelimitAllowed)
+		counter("hcperf_ratelimit_limited_total", "Requests rejected with 429 by the per-client rate limiter.", live.RatelimitLimited)
+		gauge("hcperf_ratelimit_tracked_keys", "Client keys currently tracked by the rate limiter.", live.RatelimitKeys)
+	}
+	if live.HasBreaker {
+		gauge("hcperf_breaker_state", "Execute-stage circuit breaker state (0 closed, 1 half-open, 2 open).", live.BreakerState)
+		counter("hcperf_breaker_opens_total", "Times the circuit breaker tripped open.", live.BreakerOpens)
+		counter("hcperf_breaker_shortcircuit_total", "Executions fast-failed while the breaker was open.", live.BreakerShortCircuits)
+	}
 	counter("hcperf_cache_hits_total", "Submissions served from a completed cached run.", m.CacheHits.Load())
 	counter("hcperf_dedup_hits_total", "Submissions coalesced onto an in-flight identical run.", m.DedupHits.Load())
 	counter("hcperf_cache_misses_total", "Submissions that scheduled a new execution.", m.Misses.Load())

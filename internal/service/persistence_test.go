@@ -73,8 +73,9 @@ func TestDiskTierSurvivesRestart(t *testing.T) {
 // LRU is restored from disk instead of re-executing.
 func TestMemoryEvictionFallsBackToDisk(t *testing.T) {
 	f := newFakeRunner(false)
+	// Shards: 1 — eviction order across digests only holds in one shard.
 	m := NewManager(ManagerConfig{
-		Workers: 1, CacheSize: 1, Run: f.Run,
+		Workers: 1, CacheSize: 1, Shards: 1, Run: f.Run,
 		Disk: openServiceDisk(t, filepath.Join(t.TempDir(), "results")),
 	})
 	defer func() {

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hcperf/internal/policy"
+)
+
+// PolicyConfig wires the resilience layer into the server: a per-client
+// token-bucket rate limiter in front of the submission endpoints and a
+// circuit breaker around the execute stage. Both are opt-out/opt-in knobs
+// surfaced as hcperf-serve flags.
+type PolicyConfig struct {
+	// RateLimit is the sustained request rate (requests/second) each
+	// client key may spend on the POST endpoints; 0 disables the limiter.
+	RateLimit float64
+	// RateBurst is the instantaneous burst each key may spend (default
+	// 2×RateLimit, minimum 1) — sized so a client paced at the limit never
+	// sees a 429 from scheduling jitter alone.
+	RateBurst float64
+	// NoBreaker disables the execute-stage circuit breaker (it is on by
+	// default: an unguarded execute stage turns a sick runner into a pile
+	// of queued failures).
+	NoBreaker bool
+	// Breaker overrides the breaker geometry; zero fields take the
+	// policy.BreakerConfig defaults.
+	Breaker policy.BreakerConfig
+}
+
+// clientKey identifies the caller for rate-limiting. Authenticated clients
+// are keyed by their credential — Authorization: Bearer first, then
+// X-API-Key — so one tenant cannot starve another from behind a shared
+// NAT; anonymous clients fall back to the remote IP. Credentials are
+// hashed before use as map keys so a raw secret never sits in limiter
+// state (or leaks through a debug dump); the hash is never echoed back to
+// the client.
+func clientKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok && tok != "" {
+			return hashKey("bearer", tok)
+		}
+	}
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return hashKey("apikey", key)
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr // no port (e.g. unix socket): use it whole
+	}
+	return "addr:" + host
+}
+
+func hashKey(kind, secret string) string {
+	sum := sha256.Sum256([]byte(secret))
+	return kind + ":" + hex.EncodeToString(sum[:8])
+}
+
+// limited wraps a handler with the per-client rate limiter. Every response
+// — allowed or not — carries the X-RateLimit-* headers so clients can pace
+// themselves before hitting the wall; a denial is a 429 whose Retry-After
+// is the limiter's exact refill arithmetic rounded up to whole seconds,
+// never an optimistic guess.
+func (s *Server) limited(next http.HandlerFunc) http.HandlerFunc {
+	if s.limiter == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.limiter.Allow(clientKey(r))
+		h := w.Header()
+		h.Set("X-RateLimit-Limit", strconv.FormatFloat(d.Limit, 'g', -1, 64))
+		h.Set("X-RateLimit-Remaining", strconv.Itoa(d.Remaining))
+		h.Set("X-RateLimit-Reset", strconv.Itoa(policy.RetryAfterSeconds(d.Reset)))
+		if !d.Allowed {
+			retry := policy.RetryAfterSeconds(d.RetryAfter)
+			h.Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests,
+				"rate limit exceeded (%g req/s, burst %g); retry after %ds", d.Limit, d.Burst, retry)
+			return
+		}
+		next(w, r)
+	}
+}
+
+// liveStats assembles the scrape-time gauge snapshot for WritePrometheus.
+func (s *Server) liveStats() LiveStats {
+	live := LiveStats{QueueDepth: s.mgr.QueueDepth(), CacheLen: s.mgr.CacheLen()}
+	if s.limiter != nil {
+		live.HasLimiter = true
+		live.RatelimitAllowed = s.limiter.Allowed()
+		live.RatelimitLimited = s.limiter.Limited()
+		live.RatelimitKeys = s.limiter.Keys()
+	}
+	if b := s.mgr.Breaker(); b != nil {
+		live.HasBreaker = true
+		live.BreakerState = int(b.State())
+		live.BreakerOpens = b.Opens()
+		live.BreakerShortCircuits = b.ShortCircuits()
+	}
+	return live
+}

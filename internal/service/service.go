@@ -10,6 +10,7 @@ import (
 
 	"hcperf/internal/experiment"
 	"hcperf/internal/lifecycle"
+	"hcperf/internal/policy"
 	"hcperf/internal/scenario"
 	"hcperf/internal/search"
 	"hcperf/internal/store"
@@ -22,9 +23,15 @@ type Config struct {
 	Workers   int
 	QueueSize int
 	CacheSize int
+	// Shards partitions the job map and result cache by digest (see
+	// ManagerConfig.Shards; default 8).
+	Shards int
 	// Disk is the persistent result tier shared with the CLI's -store
 	// flag; nil runs memory-only.
 	Disk *store.Disk
+	// Policy configures the resilience layer: per-client rate limiting on
+	// the POST endpoints and the execute-stage circuit breaker.
+	Policy PolicyConfig
 	// Run overrides the execution function (tests only).
 	Run RunFunc
 }
@@ -34,31 +41,50 @@ type Config struct {
 type Server struct {
 	mgr     *Manager
 	mux     *http.ServeMux
-	workers int // sweep fan-out width (same knob as the worker pool)
+	limiter *policy.Limiter // nil when rate limiting is disabled
+	workers int             // sweep fan-out width (same knob as the worker pool)
 }
 
 // New builds the server and starts its worker pool.
 func New(cfg Config) *Server {
+	// The breaker is on by default: it guards the execute stage only, so
+	// cache and dedup hits keep flowing even while it is open.
+	var breaker *policy.Breaker
+	if !cfg.Policy.NoBreaker {
+		breaker = policy.NewBreaker(cfg.Policy.Breaker)
+	}
 	s := &Server{
 		mgr: NewManager(ManagerConfig{
 			Workers:   cfg.Workers,
 			QueueSize: cfg.QueueSize,
 			CacheSize: cfg.CacheSize,
+			Shards:    cfg.Shards,
 			Run:       cfg.Run,
 			Disk:      cfg.Disk,
+			Breaker:   breaker,
 		}),
 		mux:     http.NewServeMux(),
 		workers: cfg.Workers,
 	}
+	if cfg.Policy.RateLimit > 0 {
+		burst := cfg.Policy.RateBurst
+		if burst <= 0 {
+			burst = 2 * cfg.Policy.RateLimit
+		}
+		s.limiter = policy.NewLimiter(policy.LimiterConfig{Rate: cfg.Policy.RateLimit, Burst: burst})
+	}
 	if s.workers < 1 {
 		s.workers = 2 // keep in lockstep with NewManager's default
 	}
-	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	// Only the submission (POST) endpoints are rate-limited: GETs are
+	// cheap map lookups, and limiting /metrics or /healthz would blind the
+	// very probes meant to watch an overloaded server.
+	s.mux.HandleFunc("POST /v1/runs", s.limited(s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleGetTrace)
-	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/optimize", s.limited(s.handleOptimize))
 	s.mux.HandleFunc("GET /v1/optimize/{id}", s.handleGetRun)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/sweeps", s.limited(s.handleSweep))
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -312,5 +338,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	// The exposition is rendered in one buffer, so a write error means the
 	// client went away — nothing to report.
-	_ = s.mgr.Metrics().WritePrometheus(w, s.mgr.QueueDepth(), s.mgr.CacheLen())
+	_ = s.mgr.Metrics().WritePrometheus(w, s.liveStats())
 }

@@ -270,6 +270,10 @@ func (s *Server) runSweepCell(ctx context.Context, c sweepCell, of int) (ev swee
 		Disk:    m.disk,
 		Metrics: m.metrics.Store,
 		Exec:    m.run,
+		// The sweep fan-out shares the manager's breaker, so a sick runner
+		// fast-fails sweep cells the same way it fast-fails single runs
+		// (cache and disk hits above still flow while open).
+		Breaker: m.breaker,
 	}
 	res, tier, digest, err := p.Run(ctx, c.Req)
 	ev.ID = digest

@@ -1,0 +1,24 @@
+#!/bin/sh
+# race_pkgs_guard.sh RACE_PKGS RACE_EXEMPT
+#
+# Fails loudly when a package under internal/ is listed in neither
+# RACE_PKGS nor RACE_EXEMPT (both space-separated ./internal/<pkg>/...
+# patterns from the Makefile). The point: `make race` only races the
+# packages someone remembered to list, so a freshly added internal
+# package would otherwise skip the race detector silently — this guard
+# turns that omission into a red build with instructions instead.
+set -eu
+
+covered=" $1 "
+exempt=" $2 "
+status=0
+for dir in internal/*/; do
+    pkg="./${dir%/}/..."
+    case "$covered" in *" $pkg "*) continue ;; esac
+    case "$exempt" in *" $pkg "*) continue ;; esac
+    echo "race guard: $pkg is in neither RACE_PKGS nor RACE_EXEMPT." >&2
+    echo "  Add it to RACE_PKGS in the Makefile if it owns goroutines/locks," >&2
+    echo "  or to RACE_EXEMPT if it is provably single-threaded." >&2
+    status=1
+done
+exit $status
